@@ -1,0 +1,141 @@
+// EXP-6: the general scheme of Section 7 on non-linear and
+// multi-predicate programs (Example 8's non-linear ancestor, the classic
+// same-generation program, and a mutually recursive pair), checking
+// Theorems 5 and 6 on each.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace pdatalog;
+
+namespace {
+
+struct GeneralCase {
+  const char* name;
+  const char* source;
+  // Per rule: discriminating variable name ("" = unconstrained).
+  std::vector<const char*> rule_vars;
+  // Fills both the sequential and parallel databases identically.
+  void (*fill)(SymbolTable*, Database*);
+};
+
+void FillParRandom(SymbolTable* symbols, Database* db) {
+  GenRandomGraph(symbols, db, "par", 80, 200, 5);
+}
+
+void FillSameGen(SymbolTable* symbols, Database* db) {
+  GenFlat(symbols, db, "up", 120, 30, 9);
+  // flat pairs live in the parent space so the recursive rule's join
+  // (up o sg o down) actually fires.
+  SplitMix64 flat_rng(10);
+  Relation& flat = db->GetOrCreate(symbols->Intern("flat"), 2);
+  for (int i = 0; i < 40; ++i) {
+    Value a = symbols->Intern("p" + std::to_string(flat_rng.NextBelow(30)));
+    Value b = symbols->Intern("p" + std::to_string(flat_rng.NextBelow(30)));
+    flat.Insert(Tuple{a, b});
+  }
+  SplitMix64 rng(11);
+  Relation& down = db->GetOrCreate(symbols->Intern("down"), 2);
+  for (int i = 0; i < 120; ++i) {
+    Value parent = symbols->Intern("p" + std::to_string(rng.NextBelow(30)));
+    Value child = symbols->Intern("c" + std::to_string(rng.NextBelow(120)));
+    down.Insert(Tuple{parent, child});
+  }
+}
+
+void FillEvenOdd(SymbolTable* symbols, Database* db) {
+  GenRandomGraph(symbols, db, "edge", 60, 120, 13);
+  db->Insert(symbols->Intern("zero"), Tuple{symbols->Intern("n0")}, 1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "EXP-6: Section 7 general scheme on non-linear programs.\n"
+      "paper: for every Datalog program the rewritten T_i compute the\n"
+      "same least model (Theorem 5) with no more firings than sequential\n"
+      "semi-naive (Theorem 6).\n\n");
+
+  std::vector<GeneralCase> cases = {
+      {"nonlinear-ancestor (Example 8)",
+       "anc(X, Y) :- par(X, Y).\n"
+       "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n",
+       {"Y", "Z"},
+       &FillParRandom},
+      {"same-generation",
+       "sg(X, Y) :- flat(X, Y).\n"
+       "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n",
+       {"Y", "V"},
+       &FillSameGen},
+      {"mutual-recursion (even/odd)",
+       "even(X) :- zero(X).\n"
+       "even(Y) :- odd(X), edge(X, Y).\n"
+       "odd(Y) :- even(X), edge(X, Y).\n",
+       {"X", "Y", "Y"},
+       &FillEvenOdd},
+  };
+
+  TextTable table({"program", "N", "seq firings", "par firings",
+                   "cross-msgs", "output tuples", "correct"});
+
+  for (const GeneralCase& c : cases) {
+    for (int P : {2, 4, 8}) {
+      SymbolTable symbols;
+      StatusOr<Program> program = ParseProgram(c.source, &symbols);
+      ProgramInfo info;
+      (void)Validate(*program, &info);
+
+      Database seq_db;
+      c.fill(&symbols, &seq_db);
+      EvalStats seq;
+      (void)SemiNaiveEvaluate(*program, info, &seq_db, &seq);
+
+      std::vector<GeneralRuleSpec> specs(program->rules.size());
+      for (size_t r = 0; r < specs.size(); ++r) {
+        specs[r].vars = {symbols.Intern(c.rule_vars[r])};
+        specs[r].h = DiscriminatingFunction::UniformHash(P);
+      }
+      StatusOr<RewriteBundle> bundle =
+          RewriteGeneral(*program, info, P, specs);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+        return 1;
+      }
+
+      Database edb;
+      c.fill(&symbols, &edb);
+      StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+
+      bool correct = true;
+      uint64_t output_tuples = 0;
+      for (Symbol p : bundle->derived) {
+        const Relation* pooled = result->output.Find(p);
+        const Relation* expected = seq_db.Find(p);
+        output_tuples += pooled->size();
+        if (pooled->ToSortedString(symbols) !=
+            expected->ToSortedString(symbols)) {
+          correct = false;
+        }
+      }
+
+      table.AddRow({c.name, TextTable::Cell(P),
+                    TextTable::Cell(seq.firings),
+                    TextTable::Cell(result->total_firings),
+                    TextTable::Cell(result->cross_tuples),
+                    TextTable::Cell(output_tuples),
+                    correct && result->total_firings <= seq.firings
+                        ? "yes"
+                        : "NO"});
+    }
+  }
+
+  table.Print();
+  std::printf("\nreading guide: correct = least model matches sequential\n"
+              "AND Theorem 6's firing bound holds, at every N.\n");
+  return 0;
+}

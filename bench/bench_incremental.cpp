@@ -1,0 +1,76 @@
+// EXP-11: incremental view maintenance vs recomputation (an extension
+// beyond the paper — monotone Datalog makes the materialized fixpoint
+// resumable; this bench quantifies the payoff).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/incremental.h"
+
+using namespace pdatalog;
+
+int main() {
+  std::printf(
+      "EXP-11: incremental maintenance of the ancestor closure.\n"
+      "For each update-batch size: total work (firings) done by the\n"
+      "incremental evaluator across all batches vs. recomputing the\n"
+      "closure from scratch after every batch.\n\n");
+
+  TextTable table({"batch size", "batches", "final anc", "incremental",
+                   "recompute-each-time", "speedup"});
+
+  for (int batch_size : {1, 10, 50, 250}) {
+    SymbolTable symbols;
+    StatusOr<Program> program = ParseProgram(bench::kAncestorSource, &symbols);
+    ProgramInfo info;
+    (void)Validate(*program, &info);
+
+    // The full edge set, fed in batches.
+    Database all;
+    GenRandomGraph(&symbols, &all, "par", 120, 250, 99);
+    const Relation& edges = *all.Find(symbols.Lookup("par"));
+
+    StatusOr<IncrementalEvaluator> inc =
+        IncrementalEvaluator::Create(*program, info);
+    if (!inc.ok()) {
+      std::fprintf(stderr, "%s\n", inc.status().ToString().c_str());
+      return 1;
+    }
+
+    uint64_t recompute_total = 0;
+    int batches = 0;
+    for (size_t start = 0; start < edges.size(); start += batch_size) {
+      size_t end = std::min(edges.size(), start + batch_size);
+      for (size_t r = start; r < end; ++r) {
+        (void)*inc->AddFact(symbols.Lookup("par"), edges.row(r));
+      }
+      (void)*inc->Evaluate();
+      ++batches;
+
+      // Cost of recomputing from scratch over the prefix [0, end).
+      Database prefix;
+      Relation& rel = prefix.GetOrCreate(symbols.Lookup("par"), 2);
+      for (size_t r = 0; r < end; ++r) rel.Insert(edges.row(r));
+      EvalStats stats;
+      (void)SemiNaiveEvaluate(*program, info, &prefix, &stats);
+      recompute_total += stats.firings;
+    }
+
+    uint64_t incremental_total = inc->stats().firings;
+    table.AddRow(
+        {TextTable::Cell(batch_size), TextTable::Cell(batches),
+         TextTable::Cell(inc->Find(symbols.Lookup("anc"))->size()),
+         TextTable::Cell(incremental_total),
+         TextTable::Cell(recompute_total),
+         TextTable::Cell(static_cast<double>(recompute_total) /
+                             static_cast<double>(incremental_total),
+                         1)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading guide: incremental work is independent of batch size\n"
+      "(each derivation fires exactly once, ever); recomputation pays\n"
+      "the whole closure repeatedly, so its cost — and the speedup —\n"
+      "scales with the number of batches.\n");
+  return 0;
+}

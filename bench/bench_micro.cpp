@@ -1,0 +1,145 @@
+// EXP-8: substrate microbenchmarks (google-benchmark): relation insert
+// and index probes, semi-naive vs naive evaluation, discriminating
+// function throughput, rewrite cost, and an end-to-end parallel run.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "eval/naive.h"
+
+namespace pdatalog {
+namespace {
+
+void BM_RelationInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Relation rel(2);
+    for (Value i = 0; i < static_cast<Value>(n); ++i) {
+      rel.Insert(Tuple{i, i + 1});
+    }
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RelationInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IndexProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation rel(2);
+  for (Value i = 0; i < static_cast<Value>(n); ++i) {
+    rel.Insert(Tuple{i % 97, i});
+  }
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+  Value key = 0;
+  size_t hits = 0;
+  for (auto _ : state) {
+    const std::vector<uint32_t>* ids = index.Lookup(Tuple{key % 97});
+    if (ids != nullptr) hits += ids->size();
+    ++key;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexProbe)->Arg(10000)->Arg(100000);
+
+void BM_SemiNaiveAncestor(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymbolTable symbols;
+    StatusOr<Program> program =
+        ParseProgram(bench::kAncestorSource, &symbols);
+    ProgramInfo info;
+    (void)Validate(*program, &info);
+    Database db;
+    GenRandomGraph(&symbols, &db, "par", nodes, nodes * 3, 17);
+    state.ResumeTiming();
+    EvalStats stats;
+    (void)SemiNaiveEvaluate(*program, info, &db, &stats);
+    benchmark::DoNotOptimize(stats.firings);
+  }
+}
+BENCHMARK(BM_SemiNaiveAncestor)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveAncestor(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymbolTable symbols;
+    StatusOr<Program> program =
+        ParseProgram(bench::kAncestorSource, &symbols);
+    ProgramInfo info;
+    (void)Validate(*program, &info);
+    Database db;
+    GenRandomGraph(&symbols, &db, "par", nodes, nodes * 3, 17);
+    state.ResumeTiming();
+    EvalStats stats;
+    (void)NaiveEvaluate(*program, info, &db, &stats);
+    benchmark::DoNotOptimize(stats.firings);
+  }
+}
+BENCHMARK(BM_NaiveAncestor)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UniformHash(benchmark::State& state) {
+  DiscriminatingFunction fn = DiscriminatingFunction::UniformHash(16);
+  Value vals[2] = {1, 2};
+  int sink = 0;
+  for (auto _ : state) {
+    ++vals[0];
+    sink += fn.Evaluate(vals, 2);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_UniformHash);
+
+void BM_RewriteLinear(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  bench::AncestorHarness h;
+  for (auto _ : state) {
+    LinearSchemeOptions options = h.Example3(P);
+    StatusOr<RewriteBundle> bundle =
+        RewriteLinearSirup(h.program, h.info, h.sirup, P, options);
+    benchmark::DoNotOptimize(bundle.ok());
+  }
+}
+BENCHMARK(BM_RewriteLinear)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ParallelAncestorEndToEnd(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  bench::AncestorHarness h;
+  Database base;
+  GenRandomGraph(&h.symbols, &base, "par", 100, 300, 23);
+  for (auto _ : state) {
+    ParallelResult r = h.RunScheme(base, h.Example3(P), P);
+    benchmark::DoNotOptimize(r.total_firings);
+  }
+}
+BENCHMARK(BM_ParallelAncestorEndToEnd)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetworkGraphDerivation(benchmark::State& state) {
+  SymbolTable symbols;
+  StatusOr<Program> program = ParseProgram(
+      "p(U, V, W) :- s(U, V, W).\n"
+      "p(U, V, W) :- p(V, W, Z), q(U, Z).\n",
+      &symbols);
+  ProgramInfo info;
+  (void)Validate(*program, &info);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(*program, info);
+  std::vector<Symbol> v_r = {symbols.Intern("V"), symbols.Intern("W"),
+                             symbols.Intern("Z")};
+  std::vector<Symbol> v_e = {symbols.Intern("U"), symbols.Intern("V"),
+                             symbols.Intern("W")};
+  for (auto _ : state) {
+    StatusOr<NetworkGraph> graph =
+        DeriveNetworkGraph(*sirup, v_r, v_e, {1, -1, 1}, {1, -1, 1});
+    benchmark::DoNotOptimize(graph.ok());
+  }
+}
+BENCHMARK(BM_NetworkGraphDerivation);
+
+}  // namespace
+}  // namespace pdatalog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Ancestry at scale: the three parallelizations of Section 4 side by
+// side on a synthetic genealogy, showing the paper's trade-off between
+// base-relation placement and communication.
+//
+//   Example 1 (Wolfson-Silberschatz): no communication, par replicated.
+//   Example 2 (Valduriez-Khoshafian): arbitrary fragments, broadcast.
+//   Example 3 (this paper):           disjoint fragments, point-to-point.
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "core/partition.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace pdatalog;
+
+namespace {
+
+constexpr int kProcessors = 4;
+
+struct SchemeRun {
+  std::string name;
+  uint64_t firings = 0;
+  uint64_t cross = 0;
+  uint64_t self = 0;
+  uint64_t replicated_base_rows = 0;
+  bool correct = false;
+};
+
+}  // namespace
+
+int main() {
+  SymbolTable symbols;
+  StatusOr<Program> program = ParseProgram(
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info;
+  (void)Validate(*program, &info);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(*program, info);
+
+  // A genealogy: a ternary family tree, 5 generations deep.
+  Database base;
+  size_t edges = GenTree(&symbols, &base, "par", 3, 5);
+  std::printf("genealogy: %zu parent-child edges, %d processors\n\n", edges,
+              kProcessors);
+
+  // Sequential reference.
+  Database seq_db;
+  {
+    const Relation* par = base.Find(symbols.Lookup("par"));
+    Relation& copy = seq_db.GetOrCreate(symbols.Lookup("par"), 2);
+    for (size_t r = 0; r < par->size(); ++r) copy.Insert(par->row(r));
+  }
+  EvalStats seq_stats;
+  (void)SemiNaiveEvaluate(*program, info, &seq_db, &seq_stats);
+  std::string expected =
+      seq_db.Find(symbols.Lookup("anc"))->ToSortedString(symbols);
+  std::printf("sequential: %zu anc tuples, %llu firings\n\n",
+              seq_db.Find(symbols.Lookup("anc"))->size(),
+              static_cast<unsigned long long>(seq_stats.firings));
+
+  auto run_scheme = [&](const std::string& name,
+                        const LinearSchemeOptions& options) {
+    SchemeRun run;
+    run.name = name;
+    StatusOr<RewriteBundle> bundle = RewriteLinearSirup(
+        *program, info, *sirup, kProcessors, options);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   bundle.status().ToString().c_str());
+      return run;
+    }
+    for (const BaseOccurrence& occ : bundle->base_occurrences) {
+      if (occ.access == BaseOccurrence::Access::kReplicated) {
+        run.replicated_base_rows += base.Find(symbols.Lookup("par"))->size();
+      }
+    }
+    Database edb;
+    const Relation* par = base.Find(symbols.Lookup("par"));
+    Relation& copy = edb.GetOrCreate(symbols.Lookup("par"), 2);
+    for (size_t r = 0; r < par->size(); ++r) copy.Insert(par->row(r));
+    StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   result.status().ToString().c_str());
+      return run;
+    }
+    run.firings = result->total_firings;
+    run.cross = result->cross_tuples;
+    run.self = result->self_tuples;
+    run.correct = result->output.Find(symbols.Lookup("anc"))
+                      ->ToSortedString(symbols) == expected;
+    return run;
+  };
+
+  std::vector<SchemeRun> runs;
+
+  {  // Example 1: v(r) = v(e) = <Y>.
+    LinearSchemeOptions options;
+    options.v_r = {symbols.Intern("Y")};
+    options.v_e = {symbols.Intern("Y")};
+    options.h = DiscriminatingFunction::UniformHash(kProcessors);
+    runs.push_back(run_scheme("example1 (no-comm)", options));
+  }
+  {  // Example 2: arbitrary fragmentation of par.
+    LinearSchemeOptions options;
+    options.v_r = {symbols.Intern("X"), symbols.Intern("Z")};
+    options.v_e = {symbols.Intern("X"), symbols.Intern("Y")};
+    options.h = MakeArbitraryFragmentation(
+        *base.Find(symbols.Lookup("par")), kProcessors, 42);
+    runs.push_back(run_scheme("example2 (broadcast)", options));
+  }
+  {  // Example 3: v(e) = <X>, v(r) = <Z>.
+    LinearSchemeOptions options;
+    options.v_r = {symbols.Intern("Z")};
+    options.v_e = {symbols.Intern("X")};
+    options.h = DiscriminatingFunction::UniformHash(kProcessors);
+    runs.push_back(run_scheme("example3 (point-to-point)", options));
+  }
+
+  TextTable table({"scheme", "firings", "cross-msgs", "self-msgs",
+                   "replicated base rows", "correct"});
+  for (const SchemeRun& run : runs) {
+    table.AddRow({run.name, TextTable::Cell(run.firings),
+                  TextTable::Cell(run.cross), TextTable::Cell(run.self),
+                  TextTable::Cell(run.replicated_base_rows),
+                  run.correct ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading guide: all three schemes do the same total work\n"
+      "(non-redundant, Theorem 2) but occupy different points on the\n"
+      "storage/communication spectrum: example1 replicates par and never\n"
+      "communicates; example2 accepts any fragmentation of par but\n"
+      "broadcasts every tuple; example3 uses disjoint fragments and sends\n"
+      "each tuple to exactly one processor (Section 4.3).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Andersen-style points-to analysis as parallel Datalog: a real program
+// analysis workload with two mutually dependent derived predicates
+// (variable and heap points-to), run under the Section 7 general scheme.
+//
+// The synthetic "program under analysis" has `new` sites, copy chains,
+// and load/store pairs through pointer variables.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "util/hash.h"
+#include "util/table.h"
+#include "workload/programs.h"
+
+using namespace pdatalog;
+
+namespace {
+
+// Generates a synthetic intermediate representation: `vars` variables,
+// `objs` allocation sites, plus copy/load/store edges.
+void GenerateIr(SymbolTable* symbols, Database* db, int vars, int objs,
+                uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto var = [&](int i) {
+    return symbols->Intern("v" + std::to_string(i));
+  };
+  auto obj = [&](int i) {
+    return symbols->Intern("o" + std::to_string(i));
+  };
+
+  Relation& new_rel = db->GetOrCreate(symbols->Intern("new"), 2);
+  Relation& assign = db->GetOrCreate(symbols->Intern("assign"), 2);
+  Relation& load = db->GetOrCreate(symbols->Intern("load"), 2);
+  Relation& store = db->GetOrCreate(symbols->Intern("store"), 2);
+
+  // Every fourth variable allocates.
+  for (int i = 0; i < vars; i += 4) {
+    new_rel.Insert(Tuple{var(i), obj(static_cast<int>(rng.NextBelow(objs)))});
+  }
+  // Copy chains: v_i = v_j.
+  for (int k = 0; k < vars * 2; ++k) {
+    assign.Insert(Tuple{var(static_cast<int>(rng.NextBelow(vars))),
+                        var(static_cast<int>(rng.NextBelow(vars)))});
+  }
+  // Loads v = *p and stores *p = w.
+  for (int k = 0; k < vars / 2; ++k) {
+    load.Insert(Tuple{var(static_cast<int>(rng.NextBelow(vars))),
+                      var(static_cast<int>(rng.NextBelow(vars)))});
+    store.Insert(Tuple{var(static_cast<int>(rng.NextBelow(vars))),
+                       var(static_cast<int>(rng.NextBelow(vars)))});
+  }
+}
+
+}  // namespace
+
+int main() {
+  StatusOr<NamedProgram> named = FindProgram("points_to");
+  if (!named.ok()) return 1;
+  std::printf("points-to analysis rules:\n%s\n", named->source.c_str());
+
+  SymbolTable symbols;
+  StatusOr<Program> program = ParseProgram(named->source, &symbols);
+  ProgramInfo info;
+  (void)Validate(*program, &info);
+
+  // Sequential reference.
+  Database seq_db;
+  GenerateIr(&symbols, &seq_db, 400, 60, 77);
+  EvalStats seq_stats;
+  Status status = SemiNaiveEvaluate(*program, info, &seq_db, &seq_stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  Symbol pt = symbols.Lookup("pt");
+  Symbol heap_pt = symbols.Lookup("heap_pt");
+  std::printf("sequential: pt %zu tuples, heap_pt %zu tuples, %llu firings\n",
+              seq_db.Find(pt)->size(), seq_db.Find(heap_pt)->size(),
+              static_cast<unsigned long long>(seq_stats.firings));
+
+  // Section 7 rewriting: partition each rule on the points-to *object*
+  // variable where available, otherwise on the rule's join variable.
+  //   rule 1: pt(V,O) :- new(V,O)                      -> <O>
+  //   rule 2: pt(V,O) :- assign(V,W), pt(W,O)          -> <O>
+  //   rule 3: pt(V,O) :- load(V,P), pt(P,A), heap_pt(A,O) -> <A>
+  //   rule 4: heap_pt(A,O) :- store(P,W), pt(P,A), pt(W,O) -> <A>
+  const int P = 4;
+  std::vector<GeneralRuleSpec> specs(4);
+  specs[0].vars = {symbols.Intern("O")};
+  specs[1].vars = {symbols.Intern("O")};
+  specs[2].vars = {symbols.Intern("A")};
+  specs[3].vars = {symbols.Intern("A")};
+  for (auto& spec : specs) {
+    spec.h = DiscriminatingFunction::UniformHash(P);
+  }
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(*program, info, P, specs);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  Database edb;
+  GenerateIr(&symbols, &edb, 400, 60, 77);
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("parallel (%d processors): pt %zu, heap_pt %zu, %llu firings, "
+              "%llu cross messages\n\n",
+              P, result->output.Find(pt)->size(),
+              result->output.Find(heap_pt)->size(),
+              static_cast<unsigned long long>(result->total_firings),
+              static_cast<unsigned long long>(result->cross_tuples));
+
+  TextTable table({"proc", "firings", "tuples out", "received"});
+  for (size_t i = 0; i < result->workers.size(); ++i) {
+    const WorkerStats& w = result->workers[i];
+    table.AddRow({TextTable::Cell(static_cast<int>(i)),
+                  TextTable::Cell(w.firings),
+                  TextTable::Cell(w.out_inserted),
+                  TextTable::Cell(w.received)});
+  }
+  table.Print();
+
+  bool same =
+      result->output.Find(pt)->ToSortedString(symbols) ==
+          seq_db.Find(pt)->ToSortedString(symbols) &&
+      result->output.Find(heap_pt)->ToSortedString(symbols) ==
+          seq_db.Find(heap_pt)->ToSortedString(symbols);
+  std::printf("\nparallel == sequential: %s (Theorem 5)\n",
+              same ? "yes" : "NO!");
+  std::printf("non-redundant: %s (Theorem 6, firings %llu vs %llu)\n",
+              result->total_firings <= seq_stats.firings ? "yes" : "NO!",
+              static_cast<unsigned long long>(result->total_firings),
+              static_cast<unsigned long long>(seq_stats.firings));
+  return same ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Quickstart: parse a Datalog program, evaluate it sequentially, then
+// evaluate it in parallel with the paper's Section 3 scheme and compare.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/partition.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+
+using namespace pdatalog;
+
+int main() {
+  // 1. A Datalog program with inline facts: who is an ancestor of whom?
+  const char* source = R"(
+    % extensional data
+    par(abe,  homer).
+    par(homer, bart).
+    par(homer, lisa).
+    par(homer, maggie).
+    par(mona, homer).
+
+    % intensional rules: the transitive closure of par
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+  )";
+
+  SymbolTable symbols;
+  StatusOr<Program> program = ParseProgram(source, &symbols);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  ProgramInfo info;
+  Status status = Validate(*program, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid program: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Sequential semi-naive evaluation (the baseline of Section 2).
+  Database seq_db;
+  (void)seq_db.LoadFacts(*program);
+  EvalStats seq_stats;
+  status = SemiNaiveEvaluate(*program, info, &seq_db, &seq_stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  Symbol anc = symbols.Lookup("anc");
+  std::printf("sequential semi-naive: %zu anc tuples, %llu firings, %d rounds\n",
+              seq_db.Find(anc)->size(),
+              static_cast<unsigned long long>(seq_stats.firings),
+              seq_stats.rounds);
+
+  // 3. Parallelize with Example 3 of the paper: v(e) = <X>, v(r) = <Z>,
+  //    one shared hash discriminating function, 4 processors.
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(*program, info);
+  if (!sirup.ok()) {
+    std::fprintf(stderr, "not a linear sirup: %s\n",
+                 sirup.status().ToString().c_str());
+    return 1;
+  }
+  LinearSchemeOptions options;
+  options.v_r = {symbols.Intern("Z")};
+  options.v_e = {symbols.Intern("X")};
+  options.h = DiscriminatingFunction::UniformHash(4);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(*program, info, *sirup, 4, options);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "rewrite failed: %s\n",
+                 bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nper-processor program Q_0 (the paper's rewriting):\n%s\n",
+              ToString(bundle->per_processor[0]).c_str());
+
+  Database edb;
+  (void)edb.LoadFacts(*program);
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  if (!result.ok()) {
+    std::fprintf(stderr, "parallel run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("parallel (4 processors): %llu anc tuples, %llu firings, "
+              "%llu cross-processor messages\n",
+              static_cast<unsigned long long>(result->pooled_tuples),
+              static_cast<unsigned long long>(result->total_firings),
+              static_cast<unsigned long long>(result->cross_tuples));
+
+  // 4. The answers agree (Theorem 1), and no work was duplicated
+  //    (Theorem 2: firings match the sequential count exactly).
+  std::printf("\nanc relation:\n%s",
+              result->output.Find(anc)->ToSortedString(symbols).c_str());
+  bool same = result->output.Find(anc)->ToSortedString(symbols) ==
+              seq_db.Find(anc)->ToSortedString(symbols);
+  std::printf("\nparallel == sequential: %s\n", same ? "yes" : "NO!");
+  std::printf("non-redundant (firings equal): %s\n",
+              result->total_firings == seq_stats.firings ? "yes" : "NO!");
+  return same ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Streaming view maintenance: keep the ancestor closure materialized
+// while parent edges arrive in batches, using the incremental evaluator
+// (monotone updates resume the semi-naive fixpoint instead of
+// recomputing it).
+#include <cstdio>
+
+#include "datalog/parser.h"
+#include "eval/incremental.h"
+#include "util/hash.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace pdatalog;
+
+int main() {
+  SymbolTable symbols;
+  StatusOr<Program> program = ParseProgram(
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info;
+  Status status = Validate(*program, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  StatusOr<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(*program, info);
+  if (!inc.ok()) {
+    std::fprintf(stderr, "%s\n", inc.status().ToString().c_str());
+    return 1;
+  }
+
+  Symbol par = symbols.Lookup("par");
+  Symbol anc = symbols.Lookup("anc");
+  SplitMix64 rng(2026);
+  auto node = [&](uint64_t i) {
+    return symbols.Intern("n" + std::to_string(i));
+  };
+
+  std::printf("streaming 10 batches of 60 random parent edges each;\n"
+              "the anc closure is maintained incrementally.\n\n");
+  TextTable table({"batch", "new edges", "anc size", "batch firings",
+                   "recompute firings", "saved", "ms"});
+
+  uint64_t cumulative_recompute = 0;
+  for (int batch = 1; batch <= 10; ++batch) {
+    int added = 0;
+    for (int k = 0; k < 60; ++k) {
+      uint64_t a = rng.NextBelow(150);
+      uint64_t b = rng.NextBelow(150);
+      if (a == b) continue;
+      StatusOr<bool> inserted =
+          inc->AddFact(par, Tuple{node(a), node(b)});
+      if (inserted.ok() && *inserted) ++added;
+    }
+    Stopwatch watch;
+    StatusOr<EvalStats> stats = inc->Evaluate();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    // What a from-scratch recomputation would have cost at this point:
+    // the cumulative firing count of the maintained view (each
+    // derivation fires exactly once across all batches, so the total
+    // equals one batch evaluation over everything seen so far).
+    cumulative_recompute = inc->stats().firings;
+    uint64_t saved =
+        cumulative_recompute - stats->firings;  // avoided re-derivations
+    table.AddRow({TextTable::Cell(batch), TextTable::Cell(added),
+                  TextTable::Cell(inc->Find(anc)->size()),
+                  TextTable::Cell(stats->firings),
+                  TextTable::Cell(cumulative_recompute),
+                  TextTable::Cell(saved),
+                  TextTable::Cell(watch.ElapsedMillis(), 2)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading guide: 'batch firings' is the work actually done per\n"
+      "batch; 'recompute firings' is what evaluating from scratch would\n"
+      "cost (the cumulative derivation count). The gap is the payoff of\n"
+      "incremental maintenance — it grows as the materialized closure\n"
+      "grows.\n");
+  return 0;
+}

@@ -1,0 +1,540 @@
+#include "cli/driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "core/advisor.h"
+#include "core/report.h"
+#include "core/dataflow_graph.h"
+#include "core/engine.h"
+#include "core/partition.h"
+#include "datalog/fact_io.h"
+#include "datalog/parser.h"
+#include "datalog/query.h"
+#include "storage/snapshot.h"
+#include "eval/naive.h"
+#include "workload/programs.h"
+#include "eval/seminaive.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace pdatalog {
+
+namespace {
+
+bool ConsumePrefix(const std::string& arg, const char* prefix,
+                   std::string* rest) {
+  std::string p(prefix);
+  if (arg.rfind(p, 0) != 0) return false;
+  *rest = arg.substr(p.size());
+  return true;
+}
+
+Status UsageError(const std::string& message) {
+  return Status::InvalidArgument(
+      message +
+      "\nusage: pdatalog [--mode=seq|naive|par] [--processors=N]"
+      " [--scheme=auto|example1|example2|example3|general|tradeoff]"
+      " [--rho=R] [--seed=S] [--dump=pred] [--facts=pred:file]"
+      " [--program=name] [--print-programs] [--stats] [program.dl]");
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+// Picks default discriminating sequences for the general scheme: each
+// rule is keyed on the first variable of its first derived body atom
+// (the join variable in the common case), falling back to the first
+// head variable for exit rules.
+std::vector<GeneralRuleSpec> AutoGeneralSpecs(
+    const Program& program, const ProgramInfo& info, int processors,
+    uint64_t seed,
+    const std::vector<std::pair<int, std::string>>& overrides) {
+  std::vector<GeneralRuleSpec> specs(program.rules.size());
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    Symbol var = kInvalidSymbol;
+    for (const Atom& atom : rule.body) {
+      if (!info.IsDerived(atom.predicate)) continue;
+      for (const Term& t : atom.args) {
+        if (t.is_var()) {
+          var = t.sym;
+          break;
+        }
+      }
+      if (var != kInvalidSymbol) break;
+    }
+    if (var == kInvalidSymbol) {
+      for (const Term& t : rule.head.args) {
+        if (t.is_var()) {
+          var = t.sym;
+          break;
+        }
+      }
+    }
+    if (var != kInvalidSymbol) specs[r].vars = {var};
+    specs[r].h = DiscriminatingFunction::UniformHash(processors, seed);
+  }
+  for (const auto& [idx, name] : overrides) {
+    if (idx < 0 || idx >= static_cast<int>(specs.size())) continue;
+    Symbol sym = program.symbols->Lookup(name);
+    if (sym != kInvalidSymbol) specs[idx].vars = {sym};
+  }
+  return specs;
+}
+
+StatusOr<RewriteBundle> BuildBundle(const CliOptions& options,
+                                    const Program& program,
+                                    const ProgramInfo& info,
+                                    const Database& edb,
+                                    std::string* scheme_note) {
+  using Scheme = CliOptions::Scheme;
+  const int P = options.processors;
+
+  // Schemes other than kGeneral need a linear sirup.
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(program, info);
+
+  Scheme scheme = options.scheme;
+  if (scheme == Scheme::kAuto) {
+    if (!sirup.ok()) {
+      scheme = Scheme::kGeneral;
+    } else if (DataflowGraph::Build(*sirup).HasCycle()) {
+      StatusOr<LinearSchemeOptions> free_scheme =
+          CommunicationFreeScheme(*sirup, P, options.seed);
+      if (free_scheme.ok()) {
+        *scheme_note =
+            "auto: dataflow cycle found; communication-free scheme "
+            "(Theorem 3)";
+        return RewriteLinearSirup(program, info, *sirup, P, *free_scheme);
+      }
+      scheme = Scheme::kExample3;
+    } else {
+      scheme = Scheme::kExample3;
+    }
+  }
+
+  switch (scheme) {
+    case Scheme::kGeneral: {
+      *scheme_note = "general scheme (Section 7), per-rule hash on the "
+                     "first derived-atom variable";
+      return RewriteGeneral(
+          program, info, P,
+          AutoGeneralSpecs(program, info, P, options.seed,
+                           options.rule_vars));
+    }
+    case Scheme::kExample1: {
+      if (!sirup.ok()) return sirup.status();
+      StatusOr<LinearSchemeOptions> free_scheme =
+          CommunicationFreeScheme(*sirup, P, options.seed);
+      if (!free_scheme.ok()) return free_scheme.status();
+      *scheme_note = "Example 1: communication-free (needs a dataflow "
+                     "cycle; base relation replicated)";
+      return RewriteLinearSirup(program, info, *sirup, P, *free_scheme);
+    }
+    case Scheme::kExample2: {
+      if (!sirup.ok()) return sirup.status();
+      const Relation* base = edb.Find(sirup->s);
+      if (base == nullptr) {
+        return Status::FailedPrecondition(
+            "example2 needs facts for the base relation to fragment");
+      }
+      LinearSchemeOptions o;
+      // v(r) = all variables of the recursive rule's base atoms' join
+      // with the head -- the paper's instantiation uses the base atom's
+      // full variable list.
+      const Atom& b0 = sirup->base_atoms.empty() ? sirup->exit.body[0]
+                                                 : sirup->base_atoms[0];
+      CollectVariables(b0, &o.v_r);
+      CollectVariables(sirup->exit.body[0], &o.v_e);
+      o.h = MakeArbitraryFragmentation(*base, P, options.seed);
+      *scheme_note = "Example 2: arbitrary fragmentation + broadcast";
+      return RewriteLinearSirup(program, info, *sirup, P, o);
+    }
+    case Scheme::kExample3: {
+      if (!sirup.ok()) return sirup.status();
+      LinearSchemeOptions o;
+      // v(r) = variables of the recursive body atom; v(e) = variables
+      // of the exit head (positionally complete hash partitioning).
+      for (Symbol v : sirup->BodyVarsY()) {
+        if (v != kInvalidSymbol) o.v_r.push_back(v);
+      }
+      for (Symbol v : sirup->ExitVarsZ()) {
+        if (v != kInvalidSymbol) o.v_e.push_back(v);
+      }
+      o.h = DiscriminatingFunction::UniformHash(P, options.seed);
+      *scheme_note = "Example 3 style: hash partitioning on the recursive "
+                     "atom's variables";
+      return RewriteLinearSirup(program, info, *sirup, P, o);
+    }
+    case Scheme::kTradeoff: {
+      if (!sirup.ok()) return sirup.status();
+      TradeoffOptions o;
+      for (Symbol v : sirup->BodyVarsY()) {
+        if (v != kInvalidSymbol) o.v_r.push_back(v);
+      }
+      for (Symbol v : sirup->ExitVarsZ()) {
+        if (v != kInvalidSymbol) o.v_e.push_back(v);
+      }
+      o.h_prime = DiscriminatingFunction::UniformHash(P, options.seed);
+      for (int i = 0; i < P; ++i) {
+        o.h_i.push_back(DiscriminatingFunction::KeepOrHash(
+            i, options.rho, P, options.seed));
+      }
+      *scheme_note = "Section 6 trade-off scheme, rho=" +
+                     TextTable::Cell(options.rho, 2);
+      return RewriteTradeoff(program, info, *sirup, P, o);
+    }
+    case Scheme::kAuto:
+      break;  // handled above
+  }
+  return Status::Internal("unhandled scheme");
+}
+
+}  // namespace
+
+StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
+  CliOptions options;
+  std::string rest;
+  for (const std::string& arg : args) {
+    if (ConsumePrefix(arg, "--mode=", &rest)) {
+      if (rest == "seq") {
+        options.mode = CliOptions::Mode::kSequential;
+      } else if (rest == "naive") {
+        options.mode = CliOptions::Mode::kNaive;
+      } else if (rest == "par") {
+        options.mode = CliOptions::Mode::kParallel;
+      } else {
+        return UsageError("unknown mode '" + rest + "'");
+      }
+    } else if (ConsumePrefix(arg, "--processors=", &rest)) {
+      int value = std::atoi(rest.c_str());
+      if (value < 1 || value > 1024) {
+        return UsageError("processors must be in [1, 1024]");
+      }
+      options.processors = value;
+    } else if (ConsumePrefix(arg, "--scheme=", &rest)) {
+      if (rest == "auto") {
+        options.scheme = CliOptions::Scheme::kAuto;
+      } else if (rest == "example1") {
+        options.scheme = CliOptions::Scheme::kExample1;
+      } else if (rest == "example2") {
+        options.scheme = CliOptions::Scheme::kExample2;
+      } else if (rest == "example3") {
+        options.scheme = CliOptions::Scheme::kExample3;
+      } else if (rest == "general") {
+        options.scheme = CliOptions::Scheme::kGeneral;
+      } else if (rest == "tradeoff") {
+        options.scheme = CliOptions::Scheme::kTradeoff;
+      } else {
+        return UsageError("unknown scheme '" + rest + "'");
+      }
+    } else if (ConsumePrefix(arg, "--vars=", &rest)) {
+      size_t pos = 0;
+      while (pos < rest.size()) {
+        size_t comma = rest.find(',', pos);
+        std::string item = rest.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t colon = item.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= item.size()) {
+          return UsageError("--vars expects IDX:VAR[,IDX:VAR...]");
+        }
+        options.rule_vars.emplace_back(std::atoi(item.substr(0, colon).c_str()),
+                                       item.substr(colon + 1));
+        pos = comma == std::string::npos ? rest.size() : comma + 1;
+      }
+    } else if (ConsumePrefix(arg, "--rho=", &rest)) {
+      options.rho = std::atof(rest.c_str());
+      if (options.rho < 0.0 || options.rho > 1.0) {
+        return UsageError("rho must be in [0, 1]");
+      }
+    } else if (ConsumePrefix(arg, "--seed=", &rest)) {
+      options.seed = std::strtoull(rest.c_str(), nullptr, 0);
+    } else if (ConsumePrefix(arg, "--dump=", &rest)) {
+      options.dump_predicate = rest;
+    } else if (ConsumePrefix(arg, "--query=", &rest)) {
+      options.query = rest;
+    } else if (ConsumePrefix(arg, "--save=", &rest)) {
+      options.save_directory = rest;
+    } else if (ConsumePrefix(arg, "--program=", &rest)) {
+      options.builtin = rest;
+    } else if (ConsumePrefix(arg, "--facts=", &rest)) {
+      size_t colon = rest.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= rest.size()) {
+        return UsageError("--facts expects pred:file");
+      }
+      options.fact_files.emplace_back(rest.substr(0, colon),
+                                      rest.substr(colon + 1));
+    } else if (arg == "--advise") {
+      options.advise = true;
+    } else if (arg == "--interactive") {
+      options.interactive = true;
+    } else if (arg == "--list-programs") {
+      options.list_programs = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--stratified") {
+      options.stratified = true;
+    } else if (ConsumePrefix(arg, "--net=", &rest)) {
+      options.net_cost = std::atof(rest.c_str());
+      if (options.net_cost < 0) return UsageError("net cost must be >= 0");
+    } else if (arg == "--print-programs") {
+      options.print_programs = true;
+    } else if (arg == "--stats") {
+      options.print_stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return UsageError("unknown flag '" + arg + "'");
+    } else if (options.program_path.empty()) {
+      options.program_path = arg;
+    } else {
+      return UsageError("multiple program files given");
+    }
+  }
+  if (options.list_programs) return options;
+  if (options.program_path.empty() && options.builtin.empty()) {
+    return UsageError("no program file or --program given");
+  }
+  if (!options.program_path.empty() && !options.builtin.empty()) {
+    return UsageError("give either a program file or --program, not both");
+  }
+  return options;
+}
+
+StatusOr<std::string> RunCli(const CliOptions& options,
+                             const std::string& source) {
+  if (options.list_programs) {
+    std::string out;
+    for (const NamedProgram& named : BuiltinPrograms()) {
+      out += named.name + (named.linear_sirup ? "  [linear sirup]" : "") +
+             "\n    " + named.description + "\n";
+    }
+    return out;
+  }
+
+  SymbolTable symbols;
+  std::string effective_source = source;
+  if (!options.builtin.empty()) {
+    StatusOr<NamedProgram> builtin = FindProgram(options.builtin);
+    if (!builtin.ok()) return builtin.status();
+    effective_source = builtin->source + source;
+  }
+  StatusOr<Program> program = ParseProgram(effective_source, &symbols);
+  if (!program.ok()) return program.status();
+  ProgramInfo info;
+  PDATALOG_RETURN_IF_ERROR(Validate(*program, &info));
+
+  Database edb;
+  PDATALOG_RETURN_IF_ERROR(edb.LoadFacts(*program));
+  for (const auto& [pred, path] : options.fact_files) {
+    StatusOr<size_t> loaded =
+        LoadFactsFromFile(path, pred, &symbols, &edb);
+    if (!loaded.ok()) return loaded.status();
+  }
+
+  std::string out;
+  out += "program: " + std::to_string(program->rules.size()) + " rules, " +
+         std::to_string(program->facts.size()) + " facts, " +
+         std::to_string(info.derived.size()) + " derived predicates\n";
+
+  if (options.explain) {
+    StatusOr<CompiledProgram> compiled =
+        CompiledProgram::Compile(*program, info);
+    if (!compiled.ok()) return compiled.status();
+    for (size_t r = 0; r < program->rules.size(); ++r) {
+      const auto& variants = compiled->rules()[r];
+      out += "rule " + std::to_string(r) + " (full):\n";
+      out += variants.full.DebugString(symbols);
+      for (const auto& [delta_idx, delta_rule] : variants.deltas) {
+        out += "rule " + std::to_string(r) + " (delta on body atom " +
+               std::to_string(delta_idx) + "):\n";
+        out += delta_rule.DebugString(symbols);
+      }
+    }
+    return out;
+  }
+
+  auto dump_relation = [&](const Database& db) -> Status {
+    if (!options.dump_predicate.empty()) {
+      Symbol pred = symbols.Lookup(options.dump_predicate);
+      const Relation* rel =
+          pred == kInvalidSymbol ? nullptr : db.Find(pred);
+      out += options.dump_predicate + ":\n";
+      out += rel == nullptr ? std::string("  (no such relation)\n")
+                            : rel->ToSortedString(symbols);
+    }
+    if (!options.query.empty()) {
+      StatusOr<QueryResult> answer =
+          EvaluateQuery(options.query, &symbols, db);
+      if (!answer.ok()) return answer.status();
+      out += "?- " + options.query + "\n";
+      out += answer->ToString(symbols);
+    }
+    // Embedded `?- atom.` directives from the program text.
+    for (const Atom& query : program->queries) {
+      StatusOr<QueryResult> answer =
+          EvaluateQuery(ToString(query, symbols), &symbols, db);
+      if (!answer.ok()) return answer.status();
+      out += "?- " + ToString(query, symbols) + "\n";
+      out += answer->ToString(symbols);
+    }
+    return Status::Ok();
+  };
+
+  Stopwatch watch;
+  if (options.mode != CliOptions::Mode::kParallel) {
+    EvalStats stats;
+    if (options.mode == CliOptions::Mode::kSequential) {
+      EvalOptions eopts;
+      eopts.stratified = options.stratified;
+      PDATALOG_RETURN_IF_ERROR(SemiNaiveEvaluate(*program, info, &edb,
+                                                 &stats, nullptr, eopts));
+      out += options.stratified
+                 ? "mode: sequential semi-naive (stratified)\n"
+                 : "mode: sequential semi-naive\n";
+    } else {
+      PDATALOG_RETURN_IF_ERROR(NaiveEvaluate(*program, info, &edb, &stats));
+      out += "mode: sequential naive\n";
+    }
+    out += "firings: " + U64(stats.firings) +
+           ", tuples: " + U64(stats.tuples_inserted) +
+           ", rounds: " + std::to_string(stats.rounds) + ", " +
+           TextTable::Cell(watch.ElapsedMillis(), 2) + " ms\n";
+    for (Symbol p : info.predicates) {
+      if (!info.IsDerived(p)) continue;
+      out += "  " + symbols.Name(p) + ": " +
+             std::to_string(edb.Find(p)->size()) + " tuples\n";
+    }
+    if (!options.save_directory.empty()) {
+      StatusOr<size_t> saved =
+          SaveDatabase(edb, symbols, options.save_directory);
+      if (!saved.ok()) return saved.status();
+      out += "saved " + std::to_string(*saved) + " relations to " +
+             options.save_directory + "\n";
+    }
+    PDATALOG_RETURN_IF_ERROR(dump_relation(edb));
+    return out;
+  }
+
+  if (options.advise) {
+    StatusOr<LinearSirup> sirup = ExtractLinearSirup(*program, info);
+    if (!sirup.ok()) return sirup.status();
+    AdvisorOptions aopts;
+    aopts.num_processors = options.processors;
+    aopts.seed = options.seed;
+    aopts.cost = CostParams{1.0, options.net_cost, 0.0};
+    aopts.tradeoff_rhos = {0.5, 1.0};
+    StatusOr<AdvisorReport> report =
+        AdviseScheme(*program, info, *sirup, &edb, aopts);
+    if (!report.ok()) return report.status();
+    out += "scheme advice (net/cpu cost ratio " +
+           TextTable::Cell(options.net_cost, 2) + ", " +
+           std::to_string(options.processors) + " processors):\n";
+    out += report->ToString();
+    out += "advice: " + report->best().name + " — " +
+           report->best().description + "\n";
+    return out;
+  }
+
+  std::string scheme_note;
+  StatusOr<RewriteBundle> bundle =
+      BuildBundle(options, *program, info, edb, &scheme_note);
+  if (!bundle.ok()) return bundle.status();
+
+  out += "mode: parallel, " + std::to_string(options.processors) +
+         " processors\nscheme: " + scheme_note + "\n";
+  if (options.print_programs) {
+    for (int i = 0; i < bundle->num_processors; ++i) {
+      out += "-- processor " + std::to_string(i) + " --\n";
+      out += ToString(bundle->per_processor[i]);
+    }
+  }
+
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  if (!result.ok()) return result.status();
+
+  out += "firings: " + U64(result->total_firings) +
+         ", output tuples: " + U64(result->pooled_tuples) +
+         ", cross messages: " + U64(result->cross_tuples) +
+         ", self-routed: " + U64(result->self_tuples) + ", " +
+         TextTable::Cell(result->wall_seconds * 1e3, 2) + " ms\n";
+  for (Symbol p : bundle->derived) {
+    out += "  " + symbols.Name(p) + ": " +
+           std::to_string(result->output.Find(p)->size()) + " tuples\n";
+  }
+  if (options.print_stats) {
+    ReportOptions ropts;
+    ropts.totals = false;
+    ropts.channel_matrix = true;
+    out += RenderReport(*result, ropts);
+    out += RenderBspTimeline(*result, 1.0, options.net_cost);
+  }
+  if (!options.save_directory.empty()) {
+    StatusOr<size_t> saved =
+        SaveDatabase(result->output, symbols, options.save_directory);
+    if (!saved.ok()) return saved.status();
+    out += "saved " + std::to_string(*saved) + " relations to " +
+           options.save_directory + "\n";
+  }
+  PDATALOG_RETURN_IF_ERROR(dump_relation(result->output));
+  return out;
+}
+
+void QueryLoop(const Database& db, SymbolTable* symbols, std::istream& in,
+               std::ostream& out) {
+  std::string line;
+  out << "?- " << std::flush;
+  while (std::getline(in, line)) {
+    // Trim whitespace; blank line quits.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) break;
+    size_t last = line.find_last_not_of(" \t\r");
+    std::string query = line.substr(first, last - first + 1);
+    StatusOr<QueryResult> answer = EvaluateQuery(query, symbols, db);
+    if (!answer.ok()) {
+      out << answer.status().ToString() << "\n";
+    } else {
+      out << answer->ToString(*symbols);
+    }
+    out << "?- " << std::flush;
+  }
+  out << "\n";
+}
+
+Status RunInteractive(const CliOptions& options, const std::string& source,
+                      std::istream& in, std::ostream& out) {
+  // Produce the normal report first.
+  StatusOr<std::string> report = RunCli(options, source);
+  if (!report.ok()) return report.status();
+  out << *report;
+
+  // Re-evaluate to obtain the database for querying (RunCli returns
+  // only text; evaluation here is cheap relative to an interactive
+  // session). Sequential evaluation yields the same least model as any
+  // scheme (Theorem 1).
+  SymbolTable symbols;
+  std::string effective_source = source;
+  if (!options.builtin.empty()) {
+    StatusOr<NamedProgram> builtin = FindProgram(options.builtin);
+    if (!builtin.ok()) return builtin.status();
+    effective_source = builtin->source + source;
+  }
+  StatusOr<Program> program = ParseProgram(effective_source, &symbols);
+  if (!program.ok()) return program.status();
+  ProgramInfo info;
+  PDATALOG_RETURN_IF_ERROR(Validate(*program, &info));
+  Database db;
+  PDATALOG_RETURN_IF_ERROR(db.LoadFacts(*program));
+  for (const auto& [pred, path] : options.fact_files) {
+    StatusOr<size_t> loaded = LoadFactsFromFile(path, pred, &symbols, &db);
+    if (!loaded.ok()) return loaded.status();
+  }
+  EvalStats stats;
+  PDATALOG_RETURN_IF_ERROR(SemiNaiveEvaluate(*program, info, &db, &stats));
+  QueryLoop(db, &symbols, in, out);
+  return Status::Ok();
+}
+
+}  // namespace pdatalog

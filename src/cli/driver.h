@@ -1,0 +1,119 @@
+// Command-line driver: everything behind the `pdatalog` tool, exposed
+// as a library so it is unit-testable.
+//
+// Usage (see tools/pdatalog.cc):
+//   pdatalog [options] [program.dl]
+//     --list-programs           list the built-in programs and exit
+//     --program=name            use a built-in program instead of a file
+//                               (see workload/programs.h, e.g. ancestor,
+//                               points_to)
+//     --facts=pred:file         load extensional tuples for `pred` from a
+//                               tab/comma-separated file (repeatable)
+//     --mode=seq|naive|par      evaluation mode (default par)
+//     --processors=N            processor count (default 4)
+//     --scheme=auto|example1|example2|example3|general|tradeoff
+//                               parallelization scheme (default auto)
+//     --rho=R                   keep-fraction for --scheme=tradeoff
+//     --vars=0:Y,1:Z            discriminating variable per rule index
+//                               for --scheme=general (default: first
+//                               variable of each rule's first derived
+//                               body atom)
+//     --seed=S                  hash seed (default 0x5eed)
+//     --dump=pred               print the tuples of one predicate
+//     --query='anc(a, X)'       print the bindings of a query atom
+//     --interactive             after evaluation, read query atoms from
+//                               stdin (one per line; blank line or EOF
+//                               quits) and print their bindings
+//     --save=dir                save all relations (input + derived) as
+//                               TSV files under dir after evaluation
+//     --advise                  profile candidate schemes and print a
+//                               ranking instead of running one (linear
+//                               sirups only); --net sets the modeled
+//                               per-message cost relative to a firing
+//     --net=C                   per-message cost for --advise (default 1)
+//     --explain                 print the compiled access plans (full +
+//                               semi-naive delta variants) and exit
+//     --stratified              sequential modes only: evaluate SCC
+//                               strata bottom-up
+//     --print-programs          print the rewritten per-processor programs
+//     --stats                   print per-processor statistics
+//
+// `auto` picks the communication-free scheme of Theorem 3 when the
+// dataflow graph of a linear sirup has a cycle, the paper's Example 3
+// hash scheme for acyclic linear sirups, and a per-rule general scheme
+// (Section 7) for everything else.
+#ifndef PDATALOG_CLI_DRIVER_H_
+#define PDATALOG_CLI_DRIVER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct CliOptions {
+  enum class Mode { kSequential, kNaive, kParallel };
+  enum class Scheme {
+    kAuto,
+    kExample1,
+    kExample2,
+    kExample3,
+    kGeneral,
+    kTradeoff,
+  };
+
+  Mode mode = Mode::kParallel;
+  Scheme scheme = Scheme::kAuto;
+  int processors = 4;
+  double rho = 0.5;        // tradeoff keep-fraction
+  // --scheme=general overrides: rule index -> variable name.
+  std::vector<std::pair<int, std::string>> rule_vars;
+  uint64_t seed = 0x5eed;
+  std::string dump_predicate;
+  std::string query;  // single-atom query, e.g. "anc(a, X)"
+  std::string save_directory;
+  bool interactive = false;
+  bool list_programs = false;
+  bool print_programs = false;
+  bool print_stats = false;
+  bool advise = false;
+  bool explain = false;
+  bool stratified = false;
+  double net_cost = 1.0;  // --advise cost model
+  std::string program_path;  // informational; source is passed separately
+  std::string builtin;       // name of a built-in program, if chosen
+  // (predicate, file path) pairs for --facts.
+  std::vector<std::pair<std::string, std::string>> fact_files;
+};
+
+// Parses tool arguments (argv[1..]). Returns an error with a usage hint
+// on unknown flags or malformed values.
+StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
+
+// Runs `source` under `options` and returns the textual report the tool
+// prints. Fails with the underlying error for parse/validation/engine
+// problems.
+StatusOr<std::string> RunCli(const CliOptions& options,
+                             const std::string& source);
+
+// The --interactive loop, separated for testability: reads one query
+// atom per line from `in` and writes its bindings to `out`. A blank
+// line or EOF ends the loop. Malformed queries print the error and
+// continue. Needs the evaluated database; RunCli cannot return it, so
+// the tool re-runs evaluation itself when --interactive is set — see
+// RunInteractive below, which does parse + evaluate + loop in one call.
+void QueryLoop(const class Database& db, SymbolTable* symbols,
+               std::istream& in, std::ostream& out);
+
+// Full interactive session: evaluates like RunCli (parallel or
+// sequential per options), prints the RunCli report to `out`, then runs
+// QueryLoop over the result.
+Status RunInteractive(const CliOptions& options, const std::string& source,
+                      std::istream& in, std::ostream& out);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CLI_DRIVER_H_

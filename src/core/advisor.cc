@@ -1,0 +1,228 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "core/dataflow_graph.h"
+#include "core/partition.h"
+#include "util/table.h"
+
+namespace pdatalog {
+
+namespace {
+
+// Distinct variables of the recursive body atom, in position order.
+std::vector<Symbol> RecAtomVars(const LinearSirup& sirup) {
+  std::vector<Symbol> vars;
+  CollectVariables(sirup.rec_body_atom(), &vars);
+  return vars;
+}
+
+// v(e) matching v(r) positionally: for each v(r) variable's first
+// position in the recursive body atom, take the exit head's variable at
+// the same column. Tuples are then seeded where they will be consumed,
+// so initialization incurs no forwarding. Falls back to the exit head's
+// first variable when a column holds a constant.
+std::vector<Symbol> MatchingExitVars(const LinearSirup& sirup,
+                                     const std::vector<Symbol>& v_r) {
+  std::vector<Symbol> z = sirup.ExitVarsZ();
+  std::vector<Symbol> y = sirup.BodyVarsY();
+  std::vector<Symbol> v_e;
+  for (Symbol v : v_r) {
+    int pos = -1;
+    for (size_t c = 0; c < y.size(); ++c) {
+      if (y[c] == v) {
+        pos = static_cast<int>(c);
+        break;
+      }
+    }
+    Symbol pick = kInvalidSymbol;
+    if (pos >= 0 && z[pos] != kInvalidSymbol) {
+      pick = z[pos];
+    } else {
+      for (Symbol cand : z) {
+        if (cand != kInvalidSymbol) {
+          pick = cand;
+          break;
+        }
+      }
+    }
+    if (pick != kInvalidSymbol) v_e.push_back(pick);
+  }
+  return v_e;
+}
+
+struct Candidate {
+  std::string name;
+  std::string description;
+  RewriteBundle bundle;
+};
+
+StatusOr<SchemeCandidate> Profile(const Candidate& candidate, Database* edb,
+                                  const AdvisorOptions& options) {
+  ParallelOptions popts;
+  popts.use_threads = false;  // deterministic round structure
+  StatusOr<ParallelResult> result =
+      RunParallel(candidate.bundle, edb, popts);
+  if (!result.ok()) return result.status();
+
+  SchemeCandidate out;
+  out.name = candidate.name;
+  out.description = candidate.description;
+  out.non_redundant = candidate.bundle.non_redundant;
+  out.firings = result->total_firings;
+  out.cross_messages = result->cross_tuples;
+  out.communication_free = result->cross_tuples == 0;
+  out.determined_sends = true;
+  for (const auto& sends : candidate.bundle.sends) {
+    for (const SendSpec& spec : sends) {
+      if (!spec.determined) out.determined_sends = false;
+    }
+  }
+  out.makespan = BspCost(result->worker_rounds, options.cost).makespan;
+
+  uint64_t max_firings = 0;
+  uint64_t sum = 0;
+  for (const WorkerStats& w : result->workers) {
+    max_firings = std::max(max_firings, w.firings);
+    sum += w.firings;
+  }
+  double mean = static_cast<double>(sum) /
+                static_cast<double>(result->workers.size());
+  out.load_imbalance = mean == 0 ? 1.0 : max_firings / mean;
+  return out;
+}
+
+}  // namespace
+
+std::string AdvisorReport::ToString() const {
+  TextTable table({"rank", "scheme", "makespan", "firings", "cross-msgs",
+                   "imbalance", "comm-free", "nonredundant"});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const SchemeCandidate& c = candidates[i];
+    table.AddRow({TextTable::Cell(static_cast<int>(i + 1)), c.name,
+                  TextTable::Cell(c.makespan, 0), TextTable::Cell(c.firings),
+                  TextTable::Cell(c.cross_messages),
+                  TextTable::Cell(c.load_imbalance, 2),
+                  c.communication_free ? "yes" : "no",
+                  c.non_redundant ? "yes" : "no"});
+  }
+  return table.ToString();
+}
+
+StatusOr<AdvisorReport> AdviseScheme(const Program& program,
+                                     const ProgramInfo& info,
+                                     const LinearSirup& sirup, Database* edb,
+                                     const AdvisorOptions& options) {
+  const int P = options.num_processors;
+  const SymbolTable& symbols = *program.symbols;
+  std::vector<Candidate> candidates;
+
+  // 1. Theorem 3 communication-free candidate, when the dataflow graph
+  //    has a cycle.
+  StatusOr<LinearSchemeOptions> free_scheme =
+      CommunicationFreeScheme(sirup, P, options.seed);
+  if (free_scheme.ok()) {
+    StatusOr<RewriteBundle> bundle =
+        RewriteLinearSirup(program, info, sirup, P, *free_scheme);
+    if (bundle.ok()) {
+      std::string vars;
+      for (Symbol v : free_scheme->v_r) {
+        if (!vars.empty()) vars += ",";
+        vars += symbols.Name(v);
+      }
+      candidates.push_back({"theorem3<" + vars + ">",
+                            "communication-free (dataflow cycle)",
+                            std::move(*bundle)});
+    }
+  }
+
+  // 2. Hash partitioning on each single variable of the recursive atom,
+  //    and on the full variable list (Example 3 style).
+  std::vector<std::vector<Symbol>> hash_sequences;
+  for (Symbol v : RecAtomVars(sirup)) hash_sequences.push_back({v});
+  if (RecAtomVars(sirup).size() > 1) {
+    hash_sequences.push_back(RecAtomVars(sirup));
+  }
+  for (const std::vector<Symbol>& v_r : hash_sequences) {
+    LinearSchemeOptions scheme;
+    scheme.v_r = v_r;
+    scheme.v_e = MatchingExitVars(sirup, v_r);
+    if (scheme.v_e.size() != v_r.size()) continue;
+    scheme.h = DiscriminatingFunction::UniformHash(P, options.seed);
+    StatusOr<RewriteBundle> bundle =
+        RewriteLinearSirup(program, info, sirup, P, scheme);
+    if (!bundle.ok()) continue;
+    std::string vars;
+    for (Symbol v : v_r) {
+      if (!vars.empty()) vars += ",";
+      vars += symbols.Name(v);
+    }
+    candidates.push_back({"hash<" + vars + ">",
+                          "hash partitioning (Section 3)",
+                          std::move(*bundle)});
+  }
+
+  // 3. Arbitrary fragmentation (Example 2), when the base relation has
+  //    facts to fragment.
+  if (options.include_arbitrary_fragmentation) {
+    const Relation* base = edb->Find(sirup.s);
+    const Atom& base_atom = sirup.base_atoms.empty()
+                                ? sirup.exit.body[0]
+                                : sirup.base_atoms[0];
+    if (base != nullptr && !base->empty()) {
+      LinearSchemeOptions scheme;
+      CollectVariables(base_atom, &scheme.v_r);
+      CollectVariables(sirup.exit.body[0], &scheme.v_e);
+      scheme.h = MakeArbitraryFragmentation(*base, P, options.seed);
+      StatusOr<RewriteBundle> bundle =
+          RewriteLinearSirup(program, info, sirup, P, scheme);
+      if (bundle.ok()) {
+        candidates.push_back({"fragmented",
+                              "arbitrary fragmentation + broadcast "
+                              "(Example 2)",
+                              std::move(*bundle)});
+      }
+    }
+  }
+
+  // 4. The Section 6 spectrum at the requested keep-fractions.
+  for (double rho : options.tradeoff_rhos) {
+    TradeoffOptions scheme;
+    std::vector<Symbol> v_r = RecAtomVars(sirup);
+    scheme.v_r = v_r;
+    scheme.v_e = MatchingExitVars(sirup, v_r);
+    if (scheme.v_e.size() != v_r.size()) continue;
+    scheme.h_prime = DiscriminatingFunction::UniformHash(P, options.seed);
+    for (int i = 0; i < P; ++i) {
+      scheme.h_i.push_back(
+          DiscriminatingFunction::KeepOrHash(i, rho, P, options.seed));
+    }
+    StatusOr<RewriteBundle> bundle =
+        RewriteTradeoff(program, info, sirup, P, scheme);
+    if (!bundle.ok()) continue;
+    candidates.push_back(
+        {"tradeoff(" + TextTable::Cell(rho, 2) + ")",
+         "Section 6 spectrum, keep-fraction " + TextTable::Cell(rho, 2),
+         std::move(*bundle)});
+  }
+
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no parallelization candidate applies to this sirup");
+  }
+
+  AdvisorReport report;
+  for (const Candidate& candidate : candidates) {
+    StatusOr<SchemeCandidate> profiled = Profile(candidate, edb, options);
+    if (!profiled.ok()) return profiled.status();
+    report.candidates.push_back(std::move(*profiled));
+  }
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [](const SchemeCandidate& a, const SchemeCandidate& b) {
+              if (a.makespan != b.makespan) return a.makespan < b.makespan;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,70 @@
+// Profile-guided scheme selection: the "compiler" of the paper's
+// Section 8 ("the particular scheme used in a compiler may be dependent
+// on the underlying characteristics of the architecture, e.g.,
+// computation cost as opposed to communication cost").
+//
+// Given a linear sirup, an input database, and the architecture's cost
+// parameters, the advisor enumerates candidate parallelizations,
+// executes each deterministically, replays the round logs through the
+// BSP cost model, and returns the candidates ranked by modeled makespan
+// together with their qualitative properties (communication-free?
+// deterministic single-destination sends? fragmentable bases?).
+#ifndef PDATALOG_CORE_ADVISOR_H_
+#define PDATALOG_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/engine.h"
+#include "core/rewrite.h"
+#include "datalog/analysis.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct AdvisorOptions {
+  int num_processors = 4;
+  uint64_t seed = 0x5eed;
+  CostParams cost;           // architecture model
+  // Also evaluate the Section 6 spectrum at these keep-fractions.
+  std::vector<double> tradeoff_rhos = {1.0};
+  // Include the Example 2 scheme (arbitrary fragmentation + broadcast);
+  // needs facts for the sirup's base relation.
+  bool include_arbitrary_fragmentation = true;
+};
+
+struct SchemeCandidate {
+  std::string name;          // e.g. "theorem3<Y>", "hash<Z>", "tradeoff(1.0)"
+  std::string description;
+  // Qualitative properties.
+  bool communication_free = false;
+  bool determined_sends = false;  // no broadcasts possible
+  bool non_redundant = false;
+  // Measured on the given database (deterministic round-robin run).
+  uint64_t firings = 0;
+  uint64_t cross_messages = 0;
+  double makespan = 0.0;     // BSP cost under AdvisorOptions::cost
+  double load_imbalance = 1.0;  // max/mean firings across processors
+};
+
+struct AdvisorReport {
+  // Candidates sorted by ascending makespan; front() is the advice.
+  std::vector<SchemeCandidate> candidates;
+
+  const SchemeCandidate& best() const { return candidates.front(); }
+
+  // Rendered ranking table.
+  std::string ToString() const;
+};
+
+// Profiles candidate schemes for `sirup` over the facts in `edb`.
+// `edb` gains indexes but no tuples. Fails if no candidate applies.
+StatusOr<AdvisorReport> AdviseScheme(const Program& program,
+                                     const ProgramInfo& info,
+                                     const LinearSirup& sirup, Database* edb,
+                                     const AdvisorOptions& options = {});
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_ADVISOR_H_

@@ -1,0 +1,155 @@
+// The abstract architecture of Section 3: reliable point-to-point
+// channels `ij` between every pair of processors, realized in shared
+// memory. "If a processor i puts some data in channel ij, then processor
+// j (and no other processor) receives this data without error within
+// some finite time."
+#ifndef PDATALOG_CORE_CHANNEL_H_
+#define PDATALOG_CORE_CHANNEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "storage/tuple.h"
+
+namespace pdatalog {
+
+// One tuple of a derived predicate in flight on a channel.
+struct Message {
+  Symbol predicate;
+  Tuple tuple;
+
+  // Wire size under a simple fixed encoding: 4-byte predicate id,
+  // 2-byte arity, 4 bytes per column value.
+  size_t WireBytes() const {
+    return 6 + static_cast<size_t>(tuple.arity()) * 4;
+  }
+};
+
+// A single directed channel. Senders append under a lock; the receiver
+// drains the entire backlog in one swap.
+class Channel {
+ public:
+  void Send(Message message) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_bytes_ += message.WireBytes();
+    queue_.push_back(std::move(message));
+    ++total_sent_;
+  }
+
+  // Appends a whole batch under one lock acquisition. The workers
+  // buffer per-destination messages within a round and flush once.
+  void SendBatch(std::vector<Message>* batch) {
+    if (batch->empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Message& m : *batch) {
+      total_bytes_ += m.WireBytes();
+      queue_.push_back(std::move(m));
+    }
+    total_sent_ += batch->size();
+    batch->clear();
+  }
+
+  // Moves all pending messages into `out` (appending). Returns the
+  // number drained.
+  size_t Drain(std::vector<Message>* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = queue_.size();
+    for (Message& m : queue_) out->push_back(std::move(m));
+    queue_.clear();
+    return n;
+  }
+
+  // Serialized (message-passing) mode: enqueue one encoded message.
+  void SendBytes(std::vector<uint8_t> bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_bytes_ += bytes.size();
+    byte_queue_.push_back(std::move(bytes));
+    ++total_sent_;
+  }
+
+  // Drains all encoded messages (appending). Returns the number drained.
+  size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = byte_queue_.size();
+    for (auto& b : byte_queue_) out->push_back(std::move(b));
+    byte_queue_.clear();
+    return n;
+  }
+
+  bool HasPending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !queue_.empty() || !byte_queue_.empty();
+  }
+
+  // Total messages ever sent on this channel (monotone; for stats).
+  uint64_t total_sent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_sent_;
+  }
+
+  // Total wire bytes ever sent on this channel.
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_bytes_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Message> queue_;
+  std::vector<std::vector<uint8_t>> byte_queue_;  // serialized mode
+  uint64_t total_sent_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// The full P x P channel matrix. channel(i, j) carries data from
+// processor i to processor j; self-channels (i == i) model a processor
+// routing tuples to itself and are not counted as communication.
+class CommNetwork {
+ public:
+  explicit CommNetwork(int num_processors)
+      : num_processors_(num_processors),
+        channels_(static_cast<size_t>(num_processors) * num_processors) {}
+
+  int num_processors() const { return num_processors_; }
+
+  Channel& channel(int from, int to) {
+    return channels_[static_cast<size_t>(from) * num_processors_ + to];
+  }
+  const Channel& channel(int from, int to) const {
+    return channels_[static_cast<size_t>(from) * num_processors_ + to];
+  }
+
+  // Per-channel totals, [from][to].
+  std::vector<std::vector<uint64_t>> SentMatrix() const {
+    std::vector<std::vector<uint64_t>> m(
+        num_processors_, std::vector<uint64_t>(num_processors_, 0));
+    for (int i = 0; i < num_processors_; ++i) {
+      for (int j = 0; j < num_processors_; ++j) {
+        m[i][j] = channel(i, j).total_sent();
+      }
+    }
+    return m;
+  }
+
+  // Per-channel wire bytes, [from][to].
+  std::vector<std::vector<uint64_t>> BytesMatrix() const {
+    std::vector<std::vector<uint64_t>> m(
+        num_processors_, std::vector<uint64_t>(num_processors_, 0));
+    for (int i = 0; i < num_processors_; ++i) {
+      for (int j = 0; j < num_processors_; ++j) {
+        m[i][j] = channel(i, j).total_bytes();
+      }
+    }
+    return m;
+  }
+
+ private:
+  int num_processors_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_CHANNEL_H_

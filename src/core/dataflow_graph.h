@@ -1,0 +1,49 @@
+// Dataflow graphs of linear recursive rules (Section 5, Definition 2)
+// and the constructive side of Theorem 3: a cycle yields a choice of
+// discriminating sequence that makes the parallel execution
+// communication-free.
+#ifndef PDATALOG_CORE_DATAFLOW_GRAPH_H_
+#define PDATALOG_CORE_DATAFLOW_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rewrite.h"
+#include "datalog/analysis.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Definition 2: for head t(X_1..X_m) and body atom t(Y_1..Y_m), vertex i
+// exists iff Y_i equals some X_j, and edge i -> j exists iff Y_i == X_j.
+// Positions are 0-based here; ToString prints them 1-based like the
+// paper's figures.
+struct DataflowGraph {
+  int arity = 0;
+  std::vector<int> vertices;                 // 0-based positions
+  std::vector<std::pair<int, int>> edges;    // (i, j), 0-based
+
+  static DataflowGraph Build(const LinearSirup& sirup);
+
+  bool HasCycle() const;
+
+  // Body-atom positions lying on some cycle (empty if acyclic).
+  std::vector<int> CyclePositions() const;
+
+  // e.g. "1 -> 2, 2 -> 3" (1-based, matching Figures 1 and 2).
+  std::string ToString() const;
+};
+
+// Theorem 3 (constructive): if the dataflow graph has a cycle, returns a
+// scheme specification whose parallel execution requires no
+// communication: v(r) = the variables at the cycle positions of Y,
+// v(e) = the exit-head variables at the same column positions, and a
+// symmetric (order-invariant) hash, since along a cycle the produced
+// tuple's discriminating values are a permutation of the consumed
+// tuple's. Fails if the graph is acyclic.
+StatusOr<LinearSchemeOptions> CommunicationFreeScheme(
+    const LinearSirup& sirup, int num_processors, uint64_t seed = 0x5eed);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_DATAFLOW_GRAPH_H_

@@ -1,0 +1,266 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/partition.h"
+#include "eval/stratify.h"
+#include "util/stopwatch.h"
+
+namespace pdatalog {
+
+double ParallelResult::ModeledMakespan(double cpu_cost,
+                                       double net_cost) const {
+  double makespan = 0;
+  for (size_t j = 0; j < workers.size(); ++j) {
+    uint64_t recv_cross = 0;
+    for (size_t i = 0; i < workers.size(); ++i) {
+      if (i != j) recv_cross += channel_matrix[i][j];
+    }
+    double t = static_cast<double>(workers[j].firings) * cpu_cost +
+               static_cast<double>(recv_cross) * net_cost;
+    makespan = std::max(makespan, t);
+  }
+  return makespan;
+}
+
+namespace {
+
+// Best-effort static range check of the bundle's functions.
+Status ValidateFunctions(const RewriteBundle& bundle) {
+  for (int f = 0; f < bundle.registry->size(); ++f) {
+    const DiscriminatingFunction& fn = bundle.registry->function(f);
+    switch (fn.kind) {
+      case DiscriminatingFunction::Kind::kConstant:
+        if (fn.constant < 0 || fn.constant >= bundle.num_processors) {
+          return Status::OutOfRange(
+              "constant discriminating function value " +
+              std::to_string(fn.constant) + " outside processor set");
+        }
+        break;
+      case DiscriminatingFunction::Kind::kLinear: {
+        for (int v : LinearAchievableValues(fn.coeffs)) {
+          int mapped = v;
+          if (!fn.remap.empty()) {
+            auto it = fn.remap.find(v);
+            if (it == fn.remap.end()) {
+              return Status::OutOfRange(
+                  "linear function remap misses achievable value " +
+                  std::to_string(v));
+            }
+            mapped = it->second;
+          }
+          if (mapped < 0 || mapped >= bundle.num_processors) {
+            return Status::OutOfRange(
+                "linear discriminating function reaches processor " +
+                std::to_string(mapped) + " outside [0, " +
+                std::to_string(bundle.num_processors) +
+                "); use WithDenseRemap and a matching processor count");
+          }
+        }
+        break;
+      }
+      default: {
+        if (fn.num_processors > bundle.num_processors) {
+          return Status::OutOfRange(
+              "discriminating function range exceeds processor count");
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
+                                     Database* edb,
+                                     const ParallelOptions& options) {
+  if (bundle.num_processors < 1 ||
+      bundle.per_processor.size() !=
+          static_cast<size_t>(bundle.num_processors)) {
+    return Status::InvalidArgument("malformed rewrite bundle");
+  }
+  PDATALOG_RETURN_IF_ERROR(ValidateFunctions(bundle));
+
+  // Materialize every base relation so shared reads have a target.
+  for (const auto& [pred, arity] : bundle.arity) {
+    bool is_derived =
+        std::find(bundle.derived.begin(), bundle.derived.end(), pred) !=
+        bundle.derived.end();
+    if (!is_derived) edb->GetOrCreate(pred, arity);
+  }
+
+  StatusOr<PartitionResult> partition = PartitionBases(bundle, *edb);
+  if (!partition.ok()) return partition.status();
+
+  CommNetwork network(bundle.num_processors);
+  TerminationDetector detector(bundle.num_processors);
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(bundle.num_processors);
+  for (int i = 0; i < bundle.num_processors; ++i) {
+    StatusOr<std::unique_ptr<Worker>> worker =
+        Worker::Create(&bundle, i, edb, std::move(partition->fragments[i]),
+                       &network, &detector);
+    if (!worker.ok()) return worker.status();
+    (*worker)->set_serialize_messages(options.serialize_messages);
+    workers.push_back(std::move(*worker));
+  }
+
+  // Pre-build every index the workers will probe on shared (replicated)
+  // EDB relations: they are read concurrently and must not be mutated
+  // during the run.
+  for (const auto& worker : workers) {
+    for (const auto& [pred, mask] : worker->compiled().required_indexes()) {
+      Relation* rel = edb->Find(pred);
+      if (rel != nullptr) rel->EnsureIndex(mask);
+    }
+  }
+
+  Stopwatch watch;
+  if (options.use_threads) {
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (auto& worker : workers) {
+      threads.emplace_back([&worker] { worker->RunLoop(); });
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    // Deterministic round-robin schedule.
+    for (auto& worker : workers) worker->Init();
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& worker : workers) {
+        if (worker->Step()) progress = true;
+      }
+    }
+  }
+
+  ParallelResult result;
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.channel_matrix = network.SentMatrix();
+  result.bytes_matrix = network.BytesMatrix();
+  for (int i = 0; i < bundle.num_processors; ++i) {
+    for (int j = 0; j < bundle.num_processors; ++j) {
+      if (i != j) result.cross_bytes += result.bytes_matrix[i][j];
+    }
+  }
+  for (auto& worker : workers) {
+    result.workers.push_back(worker->stats());
+    result.worker_rounds.push_back(worker->round_logs());
+    result.total_firings += worker->stats().firings;
+    result.cross_tuples += worker->stats().sent_cross;
+    result.self_tuples += worker->stats().sent_self;
+  }
+
+  // Final pooling (Section 3, step 5). Collector is processor 0: every
+  // other processor ships its t_out across the network.
+  for (Symbol p : bundle.derived) {
+    Relation& pooled = result.output.GetOrCreate(p, bundle.arity.at(p));
+    int arity = bundle.arity.at(p);
+    for (size_t w = 0; w < workers.size(); ++w) {
+      const Relation& out = workers[w]->OutputRelation(p);
+      result.out_tuples_total += out.size();
+      if (w != 0) {
+        result.pooling_messages += out.size();
+        result.pooling_bytes +=
+            out.size() * (6 + static_cast<size_t>(arity) * 4);
+      }
+      for (size_t row = 0; row < out.size(); ++row) {
+        pooled.Insert(out.row(row));
+      }
+    }
+    result.pooled_tuples += pooled.size();
+  }
+  return result;
+}
+
+StatusOr<ParallelResult> RunParallelStratified(
+    const Program& program, const ProgramInfo& info, int num_processors,
+    const std::vector<GeneralRuleSpec>& rule_specs, Database* edb,
+    const ParallelOptions& options) {
+  if (rule_specs.size() != program.rules.size()) {
+    return Status::InvalidArgument(
+        "RunParallelStratified requires one GeneralRuleSpec per rule");
+  }
+  Stratification strat = Stratify(program, info);
+
+  ParallelResult total;
+  Stopwatch watch;
+  total.workers.resize(num_processors);
+  total.worker_rounds.resize(num_processors);
+  total.channel_matrix.assign(num_processors,
+                              std::vector<uint64_t>(num_processors, 0));
+  total.bytes_matrix.assign(num_processors,
+                            std::vector<uint64_t>(num_processors, 0));
+
+  for (size_t s = 0; s < strat.strata.size(); ++s) {
+    Program sub;
+    sub.symbols = program.symbols;
+    std::vector<GeneralRuleSpec> sub_specs;
+    for (int r : strat.rules_by_stratum[s]) {
+      sub.rules.push_back(program.rules[r]);
+      sub_specs.push_back(rule_specs[r]);
+    }
+    ProgramInfo sub_info;
+    PDATALOG_RETURN_IF_ERROR(Validate(sub, &sub_info));
+    StatusOr<RewriteBundle> bundle =
+        RewriteGeneral(sub, sub_info, num_processors, sub_specs);
+    if (!bundle.ok()) return bundle.status();
+
+    StatusOr<ParallelResult> result = RunParallel(*bundle, edb, options);
+    if (!result.ok()) return result.status();
+
+    // Pooled outputs of this stratum feed later strata as base inputs.
+    for (Symbol p : strat.strata[s]) {
+      const Relation* pooled = result->output.Find(p);
+      Relation& into = edb->GetOrCreate(p, pooled->arity());
+      for (size_t row = 0; row < pooled->size(); ++row) {
+        into.Insert(pooled->row(row));
+      }
+      Relation& out =
+          total.output.GetOrCreate(p, pooled->arity());
+      for (size_t row = 0; row < pooled->size(); ++row) {
+        out.Insert(pooled->row(row));
+      }
+      total.pooled_tuples += pooled->size();
+    }
+
+    // Aggregate statistics.
+    total.total_firings += result->total_firings;
+    total.cross_tuples += result->cross_tuples;
+    total.cross_bytes += result->cross_bytes;
+    total.self_tuples += result->self_tuples;
+    total.out_tuples_total += result->out_tuples_total;
+    total.pooling_messages += result->pooling_messages;
+    total.pooling_bytes += result->pooling_bytes;
+    for (int i = 0; i < num_processors; ++i) {
+      const WorkerStats& w = result->workers[i];
+      total.workers[i].rounds += w.rounds;
+      total.workers[i].firings += w.firings;
+      total.workers[i].out_inserted += w.out_inserted;
+      total.workers[i].in_inserted += w.in_inserted;
+      total.workers[i].received += w.received;
+      total.workers[i].sent_cross += w.sent_cross;
+      total.workers[i].sent_self += w.sent_self;
+      total.workers[i].broadcasts += w.broadcasts;
+      total.workers[i].rows_examined += w.rows_examined;
+      for (int j = 0; j < num_processors; ++j) {
+        total.channel_matrix[i][j] += result->channel_matrix[i][j];
+        total.bytes_matrix[i][j] += result->bytes_matrix[i][j];
+      }
+      // Concatenate round logs stratum after stratum (the strata are
+      // sequential phases, so this is the true global round order).
+      for (const RoundLog& log : result->worker_rounds[i]) {
+        total.worker_rounds[i].push_back(log);
+      }
+    }
+  }
+  total.wall_seconds = watch.ElapsedSeconds();
+  return total;
+}
+
+}  // namespace pdatalog

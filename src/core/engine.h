@@ -1,0 +1,87 @@
+// The parallel evaluation engine: given a rewrite bundle and an input
+// database, runs the per-processor programs on the abstract architecture
+// (worker threads + channel network + termination detection) and pools
+// the outputs (Section 3, "Final Pooling").
+#ifndef PDATALOG_CORE_ENGINE_H_
+#define PDATALOG_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "core/rewrite.h"
+#include "core/worker.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct ParallelOptions {
+  // true: one OS thread per processor with asynchronous receives and
+  // Mattern termination detection (the paper's execution model).
+  // false: deterministic round-robin scheduling of the same workers in
+  // the calling thread; used by tests to get reproducible interleavings.
+  bool use_threads = true;
+  // true: realize the channels by message passing — every tuple is
+  // encoded to bytes on send and decoded on receipt (core/wire.h) —
+  // instead of moving objects through shared memory. Same results,
+  // slightly slower; exists to validate the paper's "either shared
+  // memory or message passing" claim.
+  bool serialize_messages = false;
+};
+
+struct ParallelResult {
+  // Pooled derived relations under their original predicate names.
+  Database output;
+
+  std::vector<WorkerStats> workers;
+  // worker_rounds[i] = per-round logs of processor i, for the BSP cost
+  // model (core/cost_model.h).
+  std::vector<std::vector<RoundLog>> worker_rounds;
+  // channel_matrix[i][j] = tuples sent from processor i to j.
+  std::vector<std::vector<uint64_t>> channel_matrix;
+  // bytes_matrix[i][j] = wire bytes sent from processor i to j.
+  std::vector<std::vector<uint64_t>> bytes_matrix;
+
+  uint64_t total_firings = 0;
+  uint64_t cross_tuples = 0;   // inter-processor messages
+  uint64_t cross_bytes = 0;    // inter-processor wire bytes
+  uint64_t self_tuples = 0;    // self-routed messages (no communication)
+  // Sum over processors of distinct t_out tuples; exceeds the pooled
+  // output size exactly when computation was redundant.
+  uint64_t out_tuples_total = 0;
+  uint64_t pooled_tuples = 0;
+  // Final pooling (Section 3, step 5) "might require communication from
+  // all processors to a single processor": messages/bytes to ship every
+  // processor's t_out to collector 0 (its own tuples stay local).
+  uint64_t pooling_messages = 0;
+  uint64_t pooling_bytes = 0;
+  double wall_seconds = 0;
+
+  // Work-model makespan: max over processors of
+  //   firings_i * cpu_cost + (received_cross_i) * net_cost.
+  // The container this reproduction runs on is single-core, so modeled
+  // makespan (not wall time) is the scaling metric (see DESIGN.md).
+  double ModeledMakespan(double cpu_cost, double net_cost) const;
+};
+
+// Runs the parallel evaluation. `edb` is mutated only by index creation
+// and by materializing empty relations for unused base predicates.
+StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
+                                     Database* edb,
+                                     const ParallelOptions& options = {});
+
+// Stratified parallel evaluation: the program's dependency-graph
+// condensation is evaluated bottom-up, one parallel run per stratum
+// (Section 7 general scheme within each). Completed strata become
+// extensional inputs of later ones, so upper-stratum processors never
+// idle through lower-stratum rounds and the per-stratum discriminating
+// choices are independent. `rule_specs` follows Program::rules order.
+// Returns the pooled outputs of every stratum plus summed statistics
+// (worker/channel details are per-stratum internally and aggregated).
+StatusOr<ParallelResult> RunParallelStratified(
+    const Program& program, const ProgramInfo& info, int num_processors,
+    const std::vector<GeneralRuleSpec>& rule_specs, Database* edb,
+    const ParallelOptions& options = {});
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_ENGINE_H_

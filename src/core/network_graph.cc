@@ -1,0 +1,208 @@
+#include "core/network_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/discriminating.h"
+
+namespace pdatalog {
+
+namespace {
+
+// Tiny union-find over g-value slots.
+class SlotUnion {
+ public:
+  int NewSlot() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return parent_.back();
+  }
+  int Find(int a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  int size() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Assigns one slot per variable of one rule binding, merging a slot
+// with the tuple-column slot x_q wherever the term occupies column q of
+// `anchor` (the atom bound to the communicated tuple). Variables get
+// per-binding slots (production and consumption are distinct firings);
+// constants get globally shared slots, since g(constant) is one value
+// no matter which binding mentions the constant.
+class BindingSlots {
+ public:
+  BindingSlots(SlotUnion* uf, std::unordered_map<Symbol, int>* const_slots,
+               const std::vector<int>& column_slots, const Atom& anchor)
+      : uf_(uf), const_slots_(const_slots) {
+    for (size_t q = 0; q < anchor.args.size(); ++q) {
+      const Term& t = anchor.args[q];
+      uf_->Union(SlotFor(t), column_slots[q]);
+    }
+  }
+
+  // Slot for a term of this rule binding.
+  int SlotFor(const Term& t) {
+    auto& slots = t.is_const() ? *const_slots_ : var_slots_;
+    auto it = slots.find(t.sym);
+    if (it != slots.end()) return it->second;
+    int slot = uf_->NewSlot();
+    slots.emplace(t.sym, slot);
+    return slot;
+  }
+
+  int SlotForVar(Symbol v) { return SlotFor(Term::Var(v)); }
+
+ private:
+  SlotUnion* uf_;
+  std::unordered_map<Symbol, int>* const_slots_;
+  std::unordered_map<Symbol, int> var_slots_;
+};
+
+void SortUnique(std::vector<std::pair<int, int>>* edges) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+}
+
+}  // namespace
+
+bool NetworkGraph::HasEdge(int from, int to) const {
+  return std::find(edges.begin(), edges.end(), std::make_pair(from, to)) !=
+         edges.end();
+}
+
+bool NetworkGraph::SelfLoopsOnly() const {
+  for (const auto& [from, to] : edges) {
+    if (from != to) return false;
+  }
+  return true;
+}
+
+bool NetworkGraph::IsComplete() const {
+  return edges.size() == processors.size() * processors.size();
+}
+
+int NetworkGraph::MaxOutDegree() const {
+  int best = 0;
+  for (int p : processors) {
+    int degree = 0;
+    for (const auto& [from, to] : edges) {
+      (void)to;
+      if (from == p) ++degree;
+    }
+    best = std::max(best, degree);
+  }
+  return best;
+}
+
+std::string NetworkGraph::ToString() const {
+  std::string out;
+  for (int p : processors) {
+    out += std::to_string(p);
+    out += " -> {";
+    bool first = true;
+    for (const auto& [from, to] : edges) {
+      if (from != p) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(to);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+StatusOr<NetworkGraph> DeriveNetworkGraph(
+    const LinearSirup& sirup, const std::vector<Symbol>& v_r,
+    const std::vector<Symbol>& v_e, const std::vector<int>& coeffs_h,
+    const std::vector<int>& coeffs_h_prime) {
+  if (coeffs_h.size() != v_r.size() || coeffs_h_prime.size() != v_e.size()) {
+    return Status::InvalidArgument(
+        "coefficient vectors must match the discriminating sequences");
+  }
+
+  const int m = sirup.arity();
+  SlotUnion uf;
+  std::vector<int> column_slots(m);
+  for (int c = 0; c < m; ++c) column_slots[c] = uf.NewSlot();
+
+  std::unordered_map<Symbol, int> const_slots;
+
+  // Consumption: the tuple is bound to the recursive body atom Y.
+  BindingSlots consume(&uf, &const_slots, column_slots,
+                       sirup.rec_body_atom());
+  std::vector<int> consume_slots;
+  for (Symbol v : v_r) consume_slots.push_back(consume.SlotForVar(v));
+
+  // Production by the recursive rule: the tuple is bound to the head X;
+  // the producer's other variables are free unknowns.
+  BindingSlots produce_rec(&uf, &const_slots, column_slots,
+                           sirup.rec.head);
+  std::vector<int> produce_rec_slots;
+  for (Symbol v : v_r) produce_rec_slots.push_back(produce_rec.SlotForVar(v));
+
+  // Production by the exit rule: the tuple is bound to the exit head Z.
+  BindingSlots produce_exit(&uf, &const_slots, column_slots,
+                            sirup.exit.head);
+  std::vector<int> produce_exit_slots;
+  for (Symbol v : v_e) {
+    produce_exit_slots.push_back(produce_exit.SlotForVar(v));
+  }
+
+  // Compress to root slots and enumerate 0/1 assignments.
+  std::vector<int> roots;
+  std::unordered_map<int, int> root_index;
+  for (int s = 0; s < uf.size(); ++s) {
+    int r = uf.Find(s);
+    if (root_index.emplace(r, static_cast<int>(roots.size())).second) {
+      roots.push_back(r);
+    }
+  }
+  if (roots.size() > 24) {
+    return Status::OutOfRange(
+        "too many independent g-value unknowns (" +
+        std::to_string(roots.size()) + "); enumeration would be 2^n");
+  }
+
+  auto eval = [&](const std::vector<int>& slots,
+                  const std::vector<int>& coeffs, uint64_t assignment) {
+    int sum = 0;
+    for (size_t l = 0; l < slots.size(); ++l) {
+      int bit = static_cast<int>(
+          (assignment >> root_index.at(uf.Find(slots[l]))) & 1);
+      sum += coeffs[l] * bit;
+    }
+    return sum;
+  };
+
+  NetworkGraph graph;
+  for (uint64_t a = 0; a < (1ull << roots.size()); ++a) {
+    int j = eval(consume_slots, coeffs_h, a);
+    graph.rec_edges.emplace_back(eval(produce_rec_slots, coeffs_h, a), j);
+    graph.exit_edges.emplace_back(
+        eval(produce_exit_slots, coeffs_h_prime, a), j);
+  }
+  SortUnique(&graph.rec_edges);
+  SortUnique(&graph.exit_edges);
+  graph.edges = graph.rec_edges;
+  graph.edges.insert(graph.edges.end(), graph.exit_edges.begin(),
+                     graph.exit_edges.end());
+  SortUnique(&graph.edges);
+
+  graph.processors = LinearAchievableValues(coeffs_h);
+  for (int v : LinearAchievableValues(coeffs_h_prime)) {
+    if (!std::count(graph.processors.begin(), graph.processors.end(), v)) {
+      graph.processors.push_back(v);
+    }
+  }
+  std::sort(graph.processors.begin(), graph.processors.end());
+  return graph;
+}
+
+}  // namespace pdatalog

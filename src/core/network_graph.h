@@ -1,0 +1,66 @@
+// Network-graph derivation (Section 5): which processor pairs can ever
+// need to communicate, for linear discriminating functions.
+//
+// For h(a_1..a_k) = sum_l coeffs[l] * g(a_l) with g an *arbitrary*
+// function from constants to {0,1}, a tuple's source and destination
+// processors are linear forms over the unknown g-values of the tuple's
+// columns (and of the producer's free variables). Enumerating all 0/1
+// assignments of those unknowns — the paper's equation systems (1)+(3)
+// and (4)+(5) — yields exactly the channels that some database can
+// exercise; the result is the minimal network graph (Figures 3 and 4).
+#ifndef PDATALOG_CORE_NETWORK_GRAPH_H_
+#define PDATALOG_CORE_NETWORK_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/analysis.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct NetworkGraph {
+  // All achievable h values, ascending: the processor set P. (The ids
+  // are raw linear-form values, e.g. {-1, 0, 1, 2} in Example 7.)
+  std::vector<int> processors;
+
+  // Channels that some input database exercises, as (from, to) pairs of
+  // raw processor ids. rec_edges come from tuples produced by the
+  // recursive rule, exit_edges from tuples produced by the exit rule;
+  // edges is their union.
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::pair<int, int>> rec_edges;
+  std::vector<std::pair<int, int>> exit_edges;
+
+  bool HasEdge(int from, int to) const;
+
+  // True iff every edge is a self-loop: the compile-time proof that the
+  // chosen discriminating sequence needs no interconnect.
+  bool SelfLoopsOnly() const;
+
+  // True iff every ordered processor pair is an edge (a full crossbar
+  // is required).
+  bool IsComplete() const;
+
+  // Largest out-degree over processors (counting self-loops): an upper
+  // bound on the fan-out a router must support.
+  int MaxOutDegree() const;
+
+  // Adjacency dump, e.g. "0 -> {0, 1}\n1 -> {2}".
+  std::string ToString() const;
+};
+
+// Derives the minimal network graph of `sirup` under discriminating
+// sequences `v_r` / `v_e` and linear discriminating functions with the
+// given coefficient vectors (one coefficient per sequence position).
+// Requirements: |coeffs_h| == |v_r|, |coeffs_h_prime| == |v_e|, every
+// v_r variable occurs in the recursive rule, every v_e variable in the
+// exit rule.
+StatusOr<NetworkGraph> DeriveNetworkGraph(
+    const LinearSirup& sirup, const std::vector<Symbol>& v_r,
+    const std::vector<Symbol>& v_e, const std::vector<int>& coeffs_h,
+    const std::vector<int>& coeffs_h_prime);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_NETWORK_GRAPH_H_

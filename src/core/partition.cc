@@ -1,0 +1,70 @@
+#include "core/partition.h"
+
+#include "util/hash.h"
+
+namespace pdatalog {
+
+StatusOr<PartitionResult> PartitionBases(const RewriteBundle& bundle,
+                                         const Database& edb) {
+  PartitionResult result;
+  result.fragments.resize(bundle.num_processors);
+  result.fragment_rows.assign(bundle.num_processors, 0);
+
+  for (size_t occ_idx = 0; occ_idx < bundle.base_occurrences.size();
+       ++occ_idx) {
+    const BaseOccurrence& occ = bundle.base_occurrences[occ_idx];
+    // All processors share the same local-rule structure, so the atom of
+    // this occurrence can be read from processor 0's program.
+    const Atom& atom =
+        bundle.per_processor[0].rules[occ.rule_index].body[occ.body_index];
+    const Relation* rel = edb.Find(atom.predicate);
+
+    if (occ.access == BaseOccurrence::Access::kReplicated) {
+      if (rel != nullptr) result.replicated_rows += rel->size();
+      continue;
+    }
+
+    // Create the (possibly empty) fragment relations.
+    int arity = bundle.arity.at(atom.predicate);
+    for (int i = 0; i < bundle.num_processors; ++i) {
+      result.fragments[i].emplace(static_cast<int>(occ_idx),
+                                  std::make_unique<Relation>(arity));
+    }
+    if (rel == nullptr) continue;
+
+    Value vals[32];
+    for (size_t row = 0; row < rel->size(); ++row) {
+      const Tuple& t = rel->row(row);
+      for (size_t k = 0; k < occ.positions.size(); ++k) {
+        vals[k] = t[occ.positions[k]];
+      }
+      int dest = bundle.registry->Evaluate(
+          occ.function, vals, static_cast<int>(occ.positions.size()));
+      if (dest < 0 || dest >= bundle.num_processors) {
+        return Status::OutOfRange(
+            "fragmenting function assigned a tuple to processor " +
+            std::to_string(dest) + " outside [0, " +
+            std::to_string(bundle.num_processors) + ")");
+      }
+      result.fragments[dest].at(static_cast<int>(occ_idx))->Insert(t);
+      ++result.fragment_rows[dest];
+    }
+  }
+  return result;
+}
+
+DiscriminatingFunction MakeArbitraryFragmentation(const Relation& relation,
+                                                  int num_processors,
+                                                  uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::unordered_map<Tuple, int, TupleHash> table;
+  table.reserve(relation.size());
+  for (size_t row = 0; row < relation.size(); ++row) {
+    table.emplace(relation.row(row),
+                  static_cast<int>(rng.NextBelow(num_processors)));
+  }
+  return DiscriminatingFunction::TableLookup(std::move(table),
+                                             num_processors);
+}
+
+}  // namespace pdatalog

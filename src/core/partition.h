@@ -1,0 +1,47 @@
+// Base-relation placement: builds the per-processor fragments b_k^i
+// (Section 3) / D_in^i (Section 7) prescribed by a rewrite bundle, and
+// helpers for the arbitrary horizontal fragmentations of Example 2.
+#ifndef PDATALOG_CORE_PARTITION_H_
+#define PDATALOG_CORE_PARTITION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rewrite.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// The materialized fragments for one parallel run.
+struct PartitionResult {
+  // fragments[worker][occurrence] = the worker's fragment for
+  // bundle.base_occurrences[occurrence]; only kFragment occurrences have
+  // entries. Distinct occurrences of the same predicate may be
+  // fragmented differently (Example 3 fragments `par` on column 0 for
+  // the initialization rule and on column 1 for the processing rule).
+  std::vector<std::unordered_map<int, std::unique_ptr<Relation>>> fragments;
+
+  // Rows stored per worker across its fragments (locality metric).
+  std::vector<uint64_t> fragment_rows;
+  // Rows each worker can reach through replicated occurrences.
+  uint64_t replicated_rows = 0;
+};
+
+// Splits the base relations of `edb` according to
+// `bundle.base_occurrences`. Fails if a fragmenting function assigns a
+// row outside [0, num_processors).
+StatusOr<PartitionResult> PartitionBases(const RewriteBundle& bundle,
+                                         const Database& edb);
+
+// Example 2 support: an arbitrary horizontal fragmentation of `relation`
+// into `num_processors` parts (deterministic in `seed`), returned as a
+// table-lookup discriminating function: h(t) = the fragment holding t.
+DiscriminatingFunction MakeArbitraryFragmentation(const Relation& relation,
+                                                  int num_processors,
+                                                  uint64_t seed);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_PARTITION_H_

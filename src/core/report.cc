@@ -1,0 +1,117 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "util/table.h"
+
+namespace pdatalog {
+
+std::string RenderReport(const ParallelResult& result,
+                         const ReportOptions& options) {
+  std::string out;
+  const size_t n = result.workers.size();
+
+  if (options.totals) {
+    out += "totals: " + std::to_string(result.total_firings) +
+           " firings, " + std::to_string(result.pooled_tuples) +
+           " output tuples, " + std::to_string(result.cross_tuples) +
+           " cross messages (" + std::to_string(result.cross_bytes) +
+           " bytes), " + std::to_string(result.self_tuples) +
+           " self-routed, " +
+           TextTable::Cell(result.wall_seconds * 1e3, 2) + " ms\n";
+  }
+
+  if (options.per_worker) {
+    TextTable table({"proc", "rounds", "firings", "out", "in", "recv",
+                     "sent-cross", "sent-self", "rows examined"});
+    for (size_t i = 0; i < n; ++i) {
+      const WorkerStats& w = result.workers[i];
+      table.AddRow({TextTable::Cell(static_cast<int>(i)),
+                    TextTable::Cell(w.rounds), TextTable::Cell(w.firings),
+                    TextTable::Cell(w.out_inserted),
+                    TextTable::Cell(w.in_inserted),
+                    TextTable::Cell(w.received),
+                    TextTable::Cell(w.sent_cross),
+                    TextTable::Cell(w.sent_self),
+                    TextTable::Cell(w.rows_examined)});
+    }
+    out += table.ToString();
+  }
+
+  if (options.channel_matrix) {
+    std::vector<std::string> header = {"from\\to"};
+    for (size_t j = 0; j < n; ++j) {
+      header.push_back("p" + std::to_string(j));
+    }
+    TextTable table(std::move(header));
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<std::string> row = {"p" + std::to_string(i)};
+      for (size_t j = 0; j < n; ++j) {
+        row.push_back(TextTable::Cell(result.channel_matrix[i][j]));
+      }
+      table.AddRow(std::move(row));
+    }
+    out += table.ToString();
+  }
+  return out;
+}
+
+std::string RenderBspTimeline(const ParallelResult& result,
+                              double cpu_cost, double net_cost, int width) {
+  const size_t n = result.worker_rounds.size();
+  size_t max_rounds = 0;
+  for (const auto& log : result.worker_rounds) {
+    max_rounds = std::max(max_rounds, log.size());
+  }
+  if (n == 0 || max_rounds == 0) return "(no rounds)\n";
+
+  // Per (worker, superstep) cost, mirroring BspCost's attribution.
+  std::vector<std::vector<double>> cost(n,
+                                        std::vector<double>(max_rounds, 0));
+  double max_cost = 0;
+  for (size_t k = 0; k < max_rounds; ++k) {
+    for (size_t j = 0; j < n; ++j) {
+      double c = 0;
+      if (k < result.worker_rounds[j].size()) {
+        c += result.worker_rounds[j][k].firings * cpu_cost;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (i == j || k >= result.worker_rounds[i].size()) continue;
+        const RoundLog& log = result.worker_rounds[i][k];
+        if (j < log.sent_to.size()) c += log.sent_to[j] * net_cost;
+      }
+      cost[j][k] = c;
+      max_cost = std::max(max_cost, c);
+    }
+  }
+  if (max_cost == 0) max_cost = 1;
+
+  // One char column per superstep block, bar height scaled into 8
+  // levels using 1/8th block approximations in ASCII (#, +, ., space).
+  int cols = std::min<int>(static_cast<int>(max_rounds), width);
+  std::string out = "BSP timeline (cpu=" + TextTable::Cell(cpu_cost, 1) +
+                    ", net=" + TextTable::Cell(net_cost, 1) +
+                    "; column = superstep, darker = more loaded):\n";
+  for (size_t j = 0; j < n; ++j) {
+    out += "p" + std::to_string(j) + " |";
+    for (int k = 0; k < cols; ++k) {
+      // When supersteps exceed width, aggregate ranges of rounds.
+      size_t lo = static_cast<size_t>(k) * max_rounds / cols;
+      size_t hi = static_cast<size_t>(k + 1) * max_rounds / cols;
+      double c = 0;
+      for (size_t r = lo; r < std::max(hi, lo + 1) && r < max_rounds; ++r) {
+        c = std::max(c, cost[j][r]);
+      }
+      double share = c / max_cost;
+      out += share > 0.75  ? '#'
+             : share > 0.4 ? '+'
+             : share > 0.0 ? '.'
+                           : ' ';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace pdatalog

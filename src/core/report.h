@@ -1,0 +1,32 @@
+// Human-readable rendering of parallel execution results: per-processor
+// statistics, the channel traffic matrix, and aggregate totals. Shared
+// by the CLI (--stats), the examples, and the benches.
+#ifndef PDATALOG_CORE_REPORT_H_
+#define PDATALOG_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/engine.h"
+
+namespace pdatalog {
+
+struct ReportOptions {
+  bool per_worker = true;       // per-processor statistics table
+  bool channel_matrix = false;  // tuples per channel ij
+  bool totals = true;           // one-line aggregate summary
+};
+
+// Renders `result` as aligned text tables.
+std::string RenderReport(const ParallelResult& result,
+                         const ReportOptions& options = {});
+
+// Renders the BSP replay of the round logs as a text timeline: one row
+// per processor, one column block per superstep, bar length scaled to
+// that superstep's cost share. `width` caps the total character width.
+std::string RenderBspTimeline(const ParallelResult& result,
+                              double cpu_cost, double net_cost,
+                              int width = 72);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_REPORT_H_

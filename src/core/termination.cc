@@ -1,0 +1,36 @@
+#include "core/termination.h"
+
+namespace pdatalog {
+
+TerminationDetector::TerminationDetector(int num_workers)
+    : num_workers_(num_workers),
+      states_(std::make_unique<WorkerState[]>(num_workers)) {}
+
+TerminationDetector::Snapshot TerminationDetector::Scan() const {
+  Snapshot snap;
+  snap.all_idle = true;
+  for (int w = 0; w < num_workers_; ++w) {
+    if (!states_[w].idle.load(std::memory_order_seq_cst)) {
+      snap.all_idle = false;
+    }
+    snap.sent += states_[w].sent.load(std::memory_order_seq_cst);
+    snap.received += states_[w].received.load(std::memory_order_seq_cst);
+  }
+  return snap;
+}
+
+bool TerminationDetector::TryDetect() {
+  if (terminated()) return true;
+  Snapshot first = Scan();
+  if (!first.all_idle || first.sent != first.received) return false;
+  // Second scan: counters are monotone, so identical totals mean no send
+  // or receive happened in between, and all workers were idle at both
+  // scans. Any message still in a channel would have been counted as
+  // sent but not received, making sent > received.
+  Snapshot second = Scan();
+  if (!second.all_idle || second != first) return false;
+  terminated_.store(true, std::memory_order_seq_cst);
+  return true;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,74 @@
+// Distributed termination detection for the parallel evaluation.
+//
+// The paper (Section 3, "Parallel Termination") requires detecting the
+// condition "every processor is idle and all channels are empty" and
+// cites standard algorithms [5, 7]. In shared memory we use Mattern's
+// four-counter method: a detector scan reads (all-idle, total-sent,
+// total-received); termination is declared after two consecutive scans
+// that both see all workers idle with equal, unchanged send/receive
+// totals. Workers count a send *before* the message becomes visible in
+// the channel and count a receive only *after* taking messages out, so
+// stable equal counters imply empty channels.
+#ifndef PDATALOG_CORE_TERMINATION_H_
+#define PDATALOG_CORE_TERMINATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pdatalog {
+
+class TerminationDetector {
+ public:
+  explicit TerminationDetector(int num_workers);
+
+  // Called by worker `w` before enqueueing `n` messages.
+  void CountSend(int w, uint64_t n) {
+    states_[w].sent.fetch_add(n, std::memory_order_seq_cst);
+  }
+
+  // Called by worker `w` after draining `n` messages from its channels.
+  void CountReceive(int w, uint64_t n) {
+    states_[w].received.fetch_add(n, std::memory_order_seq_cst);
+  }
+
+  // Worker `w` transitions between active and idle. A worker must be
+  // active whenever it sends.
+  void SetIdle(int w, bool idle) {
+    states_[w].idle.store(idle, std::memory_order_seq_cst);
+  }
+
+  // Performed by an idle worker: runs one detection scan. Returns true
+  // once global termination has been declared (by this call or a prior
+  // one). Safe to call concurrently.
+  bool TryDetect();
+
+  bool terminated() const {
+    return terminated_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct WorkerState {
+    std::atomic<uint64_t> sent{0};
+    std::atomic<uint64_t> received{0};
+    std::atomic<bool> idle{false};
+  };
+
+  struct Snapshot {
+    bool all_idle = false;
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  Snapshot Scan() const;
+
+  int num_workers_;
+  std::unique_ptr<WorkerState[]> states_;
+  std::atomic<bool> terminated_{false};
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_TERMINATION_H_

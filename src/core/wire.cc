@@ -1,0 +1,85 @@
+#include "core/wire.h"
+
+namespace pdatalog {
+
+namespace {
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+bool GetU32(const std::vector<uint8_t>& data, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > data.size()) return false;
+  *v = static_cast<uint32_t>(data[*offset]) |
+       static_cast<uint32_t>(data[*offset + 1]) << 8 |
+       static_cast<uint32_t>(data[*offset + 2]) << 16 |
+       static_cast<uint32_t>(data[*offset + 3]) << 24;
+  *offset += 4;
+  return true;
+}
+
+bool GetU16(const std::vector<uint8_t>& data, size_t* offset, uint16_t* v) {
+  if (*offset + 2 > data.size()) return false;
+  *v = static_cast<uint16_t>(data[*offset] | data[*offset + 1] << 8);
+  *offset += 2;
+  return true;
+}
+
+}  // namespace
+
+void EncodeMessage(const Message& message, std::vector<uint8_t>* out) {
+  PutU32(message.predicate, out);
+  PutU16(static_cast<uint16_t>(message.tuple.arity()), out);
+  for (Value v : message.tuple) PutU32(v, out);
+}
+
+StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& data,
+                                size_t* offset) {
+  uint32_t predicate;
+  uint16_t arity;
+  if (!GetU32(data, offset, &predicate) || !GetU16(data, offset, &arity)) {
+    return Status::InvalidArgument("truncated message header");
+  }
+  if (arity > 32) {
+    return Status::InvalidArgument("message arity exceeds 32");
+  }
+  Value values[32];
+  for (int c = 0; c < arity; ++c) {
+    uint32_t v;
+    if (!GetU32(data, offset, &v)) {
+      return Status::InvalidArgument("truncated message body");
+    }
+    values[c] = v;
+  }
+  Message message;
+  message.predicate = predicate;
+  message.tuple = Tuple(values, arity);
+  return message;
+}
+
+std::vector<uint8_t> EncodeBatch(const std::vector<Message>& messages) {
+  std::vector<uint8_t> out;
+  for (const Message& m : messages) EncodeMessage(m, &out);
+  return out;
+}
+
+StatusOr<std::vector<Message>> DecodeBatch(const std::vector<uint8_t>& data) {
+  std::vector<Message> messages;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    StatusOr<Message> m = DecodeMessage(data, &offset);
+    if (!m.ok()) return m.status();
+    messages.push_back(std::move(*m));
+  }
+  return messages;
+}
+
+}  // namespace pdatalog

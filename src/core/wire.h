@@ -1,0 +1,38 @@
+// Message serialization: the paper's abstract architecture may be
+// realized "by either shared memory or message passing" (Section 3).
+// The default channels move Message objects through shared memory; in
+// serialized mode every message is encoded to bytes on send and decoded
+// on receive, proving nothing in the engine depends on shared address
+// space (beyond the read-only symbol table, which a real deployment
+// would replicate).
+//
+// Wire format (little-endian):
+//   u32 predicate id | u16 arity | arity * u32 column values
+#ifndef PDATALOG_CORE_WIRE_H_
+#define PDATALOG_CORE_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/channel.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Appends the encoding of `message` to `out`.
+void EncodeMessage(const Message& message, std::vector<uint8_t>* out);
+
+// Decodes one message starting at `data[*offset]`, advancing *offset.
+// Fails on truncated input.
+StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& data,
+                                size_t* offset);
+
+// Encodes a whole batch (concatenated messages).
+std::vector<uint8_t> EncodeBatch(const std::vector<Message>& messages);
+
+// Decodes a concatenated batch.
+StatusOr<std::vector<Message>> DecodeBatch(const std::vector<uint8_t>& data);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_WIRE_H_

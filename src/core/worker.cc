@@ -1,0 +1,393 @@
+#include "core/worker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "core/wire.h"
+
+namespace pdatalog {
+
+StatusOr<std::unique_ptr<Worker>> Worker::Create(
+    const RewriteBundle* bundle, int id, const Database* edb,
+    std::unordered_map<int, std::unique_ptr<Relation>> fragments,
+    CommNetwork* network, TerminationDetector* detector) {
+  std::unique_ptr<Worker> worker(new Worker(
+      bundle, id, edb, std::move(fragments), network, detector));
+  Status status = worker->Setup();
+  if (!status.ok()) return status;
+  return worker;
+}
+
+Worker::Worker(const RewriteBundle* bundle, int id, const Database* edb,
+               std::unordered_map<int, std::unique_ptr<Relation>> fragments,
+               CommNetwork* network, TerminationDetector* detector)
+    : bundle_(bundle),
+      id_(id),
+      num_processors_(bundle->num_processors),
+      edb_(edb),
+      network_(network),
+      detector_(detector),
+      fragments_(std::move(fragments)) {}
+
+Status Worker::Setup() {
+  local_program_ = &bundle_->per_processor[id_];
+
+  // Local classification: t_in predicates are fed by the channels, so
+  // the semi-naive compiler must treat them as delta-tracked (derived).
+  ProgramInfo local_info;
+  PDATALOG_RETURN_IF_ERROR(Validate(*local_program_, &local_info));
+  for (const auto& [orig, in_sym] : bundle_->in_name) {
+    if (local_info.arity.find(in_sym) == local_info.arity.end()) {
+      // This t_in never occurs in the local program (no rule consumes
+      // the predicate); register it so receives still have a home.
+      local_info.arity[in_sym] = bundle_->arity.at(orig);
+      local_info.predicates.push_back(in_sym);
+    }
+    local_info.base.erase(in_sym);
+    local_info.derived.insert(in_sym);
+  }
+
+  StatusOr<CompiledProgram> compiled =
+      CompiledProgram::Compile(*local_program_, local_info);
+  if (!compiled.ok()) return compiled.status();
+  compiled_ = std::move(*compiled);
+
+  // Local t_out / t_in relations.
+  for (Symbol p : bundle_->derived) {
+    int arity = bundle_->arity.at(p);
+    local_db_.GetOrCreate(bundle_->out_name.at(p), arity);
+    local_db_.GetOrCreate(bundle_->in_name.at(p), arity);
+    in_old_end_[bundle_->in_name.at(p)] = 0;
+    out_sent_end_[bundle_->out_name.at(p)] = 0;
+  }
+
+  // Occurrence lookup for fragment resolution.
+  std::unordered_map<int64_t, int> occ_by_pos;
+  for (size_t k = 0; k < bundle_->base_occurrences.size(); ++k) {
+    const BaseOccurrence& occ = bundle_->base_occurrences[k];
+    occ_by_pos[(static_cast<int64_t>(occ.rule_index) << 32) |
+               occ.body_index] = static_cast<int>(k);
+  }
+
+  // Resolve every body atom to its data source.
+  body_sources_.resize(local_program_->rules.size());
+  for (size_t r = 0; r < local_program_->rules.size(); ++r) {
+    const Rule& rule = local_program_->rules[r];
+    body_sources_[r].resize(rule.body.size());
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      const Atom& atom = rule.body[b];
+      if (Relation* local = local_db_.Find(atom.predicate)) {
+        body_sources_[r][b] = local;  // t_in relation
+        continue;
+      }
+      auto occ_it =
+          occ_by_pos.find((static_cast<int64_t>(r) << 32) | b);
+      assert(occ_it != occ_by_pos.end());
+      const BaseOccurrence& occ = bundle_->base_occurrences[occ_it->second];
+      if (occ.access == BaseOccurrence::Access::kFragment) {
+        auto frag_it = fragments_.find(occ_it->second);
+        assert(frag_it != fragments_.end());
+        body_sources_[r][b] = frag_it->second.get();
+      } else {
+        const Relation* shared = edb_->Find(atom.predicate);
+        if (shared == nullptr) {
+          // No facts for this base predicate: use an empty local one.
+          shared = &local_db_.GetOrCreate(atom.predicate,
+                                          bundle_->arity.at(atom.predicate));
+        }
+        body_sources_[r][b] = shared;
+      }
+    }
+  }
+
+  send_buffers_.resize(num_processors_);
+
+  // Indexes on static sources (fragments and empty locals); shared EDB
+  // relations are pre-indexed by the engine before workers start.
+  for (const auto& [pred, mask] : compiled_.required_indexes()) {
+    for (size_t r = 0; r < local_program_->rules.size(); ++r) {
+      const Rule& rule = local_program_->rules[r];
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        if (rule.body[b].predicate != pred) continue;
+        // const_cast is safe here: fragments and local relations belong
+        // to this worker and are only indexed before/between rounds.
+        Relation* src = const_cast<Relation*>(body_sources_[r][b]);
+        bool is_in_rel = in_old_end_.count(pred) > 0;
+        bool is_shared_edb = edb_->Find(pred) == src;
+        if (!is_in_rel && !is_shared_edb) src->EnsureIndex(mask);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+const Relation& Worker::OutputRelation(Symbol p) const {
+  const Relation* rel = local_db_.Find(bundle_->out_name.at(p));
+  assert(rel != nullptr);
+  return *rel;
+}
+
+void Worker::EnsureLocalIndexes() {
+  for (const auto& [pred, mask] : compiled_.required_indexes()) {
+    if (in_old_end_.count(pred) == 0) continue;  // only t_in grows
+    local_db_.Find(pred)->EnsureIndex(mask);
+  }
+}
+
+void Worker::Init() {
+  round_logs_.emplace_back();
+  current_log_ = &round_logs_.back();
+  current_log_->sent_to.assign(num_processors_, 0);
+  ExecStats es;
+  for (size_t r = 0; r < local_program_->rules.size(); ++r) {
+    const auto& variants = compiled_.rules()[r];
+    if (variants.has_derived_body) continue;
+    const Rule& rule = local_program_->rules[r];
+    Relation* head_rel = local_db_.Find(rule.head.predicate);
+    std::vector<AtomInput> inputs(rule.body.size());
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      const Relation* src = body_sources_[r][b];
+      inputs[b] = AtomInput{src, 0, src->size()};
+    }
+    JoinExecutor::Execute(
+        variants.full, inputs, bundle_->registry.get(),
+        [&](const Tuple& t) {
+          if (head_rel->Insert(t)) ++stats_.out_inserted;
+        },
+        &es);
+  }
+  stats_.firings += es.firings;
+  stats_.rows_examined += es.rows_examined;
+  current_log_->firings = es.firings;
+
+  // Route the initial output delta (Section 3: tuples derived by the
+  // initialization rule flow through the sending rules like any other).
+  for (Symbol p : bundle_->derived) {
+    Relation* out = local_db_.Find(bundle_->out_name.at(p));
+    size_t& sent = out_sent_end_[bundle_->out_name.at(p)];
+    for (size_t row = sent; row < out->size(); ++row) {
+      SendTuple(p, out->row(row));
+    }
+    sent = out->size();
+  }
+  FlushSends();
+  current_log_ = nullptr;
+}
+
+size_t Worker::DrainChannels() {
+  drain_buffer_.clear();
+  size_t total = 0;
+  for (int j = 0; j < num_processors_; ++j) {
+    total += network_->channel(j, id_).Drain(&drain_buffer_);
+    if (serialize_messages_) {
+      byte_buffer_.clear();
+      total += network_->channel(j, id_).DrainBytes(&byte_buffer_);
+      for (const std::vector<uint8_t>& bytes : byte_buffer_) {
+        size_t offset = 0;
+        while (offset < bytes.size()) {
+          StatusOr<Message> m = DecodeMessage(bytes, &offset);
+          assert(m.ok());
+          drain_buffer_.push_back(std::move(*m));
+        }
+      }
+    }
+  }
+  if (total == 0) return 0;
+  detector_->CountReceive(id_, total);
+  stats_.received += total;
+  pending_received_ += total;
+  for (Message& m : drain_buffer_) {
+    Relation* in_rel = local_db_.Find(bundle_->in_name.at(m.predicate));
+    if (in_rel->Insert(m.tuple)) ++stats_.in_inserted;
+  }
+  return total;
+}
+
+void Worker::ProcessRound() {
+  ++stats_.rounds;
+  round_logs_.emplace_back();
+  current_log_ = &round_logs_.back();
+  current_log_->sent_to.assign(num_processors_, 0);
+  current_log_->received = pending_received_;
+  pending_received_ = 0;
+
+  // Freeze this round's delta windows.
+  std::unordered_map<Symbol, size_t> cur_end;
+  for (auto& [in_sym, old_end] : in_old_end_) {
+    (void)old_end;
+    cur_end[in_sym] = local_db_.Find(in_sym)->size();
+  }
+  EnsureLocalIndexes();
+
+  ExecStats es;
+  for (size_t r = 0; r < local_program_->rules.size(); ++r) {
+    const auto& variants = compiled_.rules()[r];
+    if (!variants.has_derived_body) continue;
+    const Rule& rule = local_program_->rules[r];
+    Relation* head_rel = local_db_.Find(rule.head.predicate);
+
+    for (const auto& [delta_idx, delta_rule] : variants.deltas) {
+      std::vector<AtomInput> inputs(rule.body.size());
+      bool empty_delta = false;
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        const Atom& atom = rule.body[b];
+        const Relation* src = body_sources_[r][b];
+        auto old_it = in_old_end_.find(atom.predicate);
+        if (old_it == in_old_end_.end()) {  // base atom
+          inputs[b] = AtomInput{src, 0, src->size()};
+          continue;
+        }
+        size_t old_end = old_it->second;
+        size_t cur = cur_end.at(atom.predicate);
+        if (static_cast<int>(b) == delta_idx) {
+          inputs[b] = AtomInput{src, old_end, cur};
+          if (old_end == cur) empty_delta = true;
+        } else if (static_cast<int>(b) < delta_idx) {
+          inputs[b] = AtomInput{src, 0, old_end};
+        } else {
+          inputs[b] = AtomInput{src, 0, cur};
+        }
+      }
+      if (empty_delta) continue;
+      JoinExecutor::Execute(
+          delta_rule, inputs, bundle_->registry.get(),
+          [&](const Tuple& t) {
+            if (head_rel->Insert(t)) ++stats_.out_inserted;
+          },
+          &es);
+    }
+  }
+  stats_.firings += es.firings;
+  stats_.rows_examined += es.rows_examined;
+  current_log_->firings = es.firings;
+
+  // Send the new outputs, then advance the t_in watermarks.
+  for (Symbol p : bundle_->derived) {
+    Relation* out = local_db_.Find(bundle_->out_name.at(p));
+    size_t& sent = out_sent_end_[bundle_->out_name.at(p)];
+    for (size_t row = sent; row < out->size(); ++row) {
+      SendTuple(p, out->row(row));
+    }
+    sent = out->size();
+  }
+  for (auto& [in_sym, old_end] : in_old_end_) {
+    old_end = cur_end.at(in_sym);
+  }
+  FlushSends();
+  current_log_ = nullptr;
+}
+
+void Worker::FlushSends() {
+  for (int dest = 0; dest < num_processors_; ++dest) {
+    network_->channel(id_, dest).SendBatch(&send_buffers_[dest]);
+  }
+}
+
+void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
+  // Destinations across all sending rules for this predicate, deduped:
+  // the channel predicate t_ij is a set, so a tuple travels each channel
+  // at most once no matter how many sending rules select it.
+  dests_.clear();
+  auto add_dest = [&](int d) {
+    if (std::find(dests_.begin(), dests_.end(), d) == dests_.end()) {
+      dests_.push_back(d);
+    }
+  };
+
+  for (const SendSpec& spec : bundle_->sends[id_]) {
+    if (spec.predicate != pred) continue;
+    // Match the tuple against the recursive-atom pattern.
+    bool match = true;
+    const Atom& pat = spec.pattern;
+    for (int c = 0; c < pat.arity() && match; ++c) {
+      const Term& term = pat.args[c];
+      if (term.is_const()) {
+        if (tuple[c] != term.sym) match = false;
+      } else {
+        for (int c2 = 0; c2 < c; ++c2) {
+          if (pat.args[c2].is_var() && pat.args[c2].sym == term.sym &&
+              tuple[c2] != tuple[c]) {
+            match = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!match) continue;  // cannot fire anyone's processing rule
+
+    if (spec.determined) {
+      Value vals[32];
+      for (size_t k = 0; k < spec.var_positions.size(); ++k) {
+        vals[k] = tuple[spec.var_positions[k]];
+      }
+      int dest = bundle_->registry->Evaluate(
+          spec.function, vals, static_cast<int>(spec.var_positions.size()));
+      assert(dest >= 0 && dest < num_processors_);
+      add_dest(dest);
+    } else {
+      // Example 2: the sender cannot evaluate h(v(r)); broadcast.
+      ++stats_.broadcasts;
+      for (int j = 0; j < num_processors_; ++j) add_dest(j);
+    }
+  }
+
+  for (int dest : dests_) {
+    detector_->CountSend(id_, 1);
+    if (serialize_messages_) {
+      // Serialized mode enqueues immediately (each message is its own
+      // byte vector on the wire).
+      std::vector<uint8_t> bytes;
+      EncodeMessage(Message{pred, tuple}, &bytes);
+      network_->channel(id_, dest).SendBytes(std::move(bytes));
+    } else {
+      send_buffers_[dest].push_back(Message{pred, tuple});
+    }
+    if (current_log_ != nullptr) ++current_log_->sent_to[dest];
+    if (dest == id_) {
+      ++stats_.sent_self;
+    } else {
+      ++stats_.sent_cross;
+    }
+  }
+}
+
+bool Worker::Step() {
+  size_t got = DrainChannels();
+  bool has_delta = false;
+  for (const auto& [in_sym, old_end] : in_old_end_) {
+    if (old_end < local_db_.Find(in_sym)->size()) {
+      has_delta = true;
+      break;
+    }
+  }
+  if (got == 0 && !has_delta) return false;
+  ProcessRound();
+  return true;
+}
+
+void Worker::RunLoop() {
+  detector_->SetIdle(id_, false);
+  Init();
+  while (true) {
+    if (Step()) continue;
+    detector_->SetIdle(id_, true);
+    while (true) {
+      if (detector_->TryDetect()) return;
+      bool pending = false;
+      for (int j = 0; j < num_processors_; ++j) {
+        if (network_->channel(j, id_).HasPending()) {
+          pending = true;
+          break;
+        }
+      }
+      if (pending) {
+        detector_->SetIdle(id_, false);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,134 @@
+// One processor of the abstract architecture: evaluates its rewritten
+// program Q_i/R_i/T_i with a local semi-naive loop, sending output
+// deltas through the channel network and receiving asynchronously
+// (Section 3: "processor i does not wait for data from processor j").
+#ifndef PDATALOG_CORE_WORKER_H_
+#define PDATALOG_CORE_WORKER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/partition.h"
+#include "core/rewrite.h"
+#include "core/termination.h"
+#include "eval/seminaive.h"
+#include "storage/database.h"
+
+namespace pdatalog {
+
+// Per-round record used by the BSP cost model (core/cost_model.h):
+// round 0 is initialization; round k >= 1 is the k-th processing round.
+struct RoundLog {
+  uint64_t firings = 0;
+  uint64_t received = 0;           // messages drained entering this round
+  std::vector<uint64_t> sent_to;   // messages enqueued, by destination
+};
+
+struct WorkerStats {
+  int rounds = 0;
+  uint64_t firings = 0;          // successful ground substitutions
+  uint64_t out_inserted = 0;     // distinct tuples added to t_out
+  uint64_t in_inserted = 0;      // distinct tuples added to t_in
+  uint64_t received = 0;         // messages drained (incl. self-channel)
+  uint64_t sent_cross = 0;       // messages to other processors
+  uint64_t sent_self = 0;        // messages routed to self
+  uint64_t broadcasts = 0;       // tuples broadcast for undetermined sends
+  uint64_t rows_examined = 0;
+};
+
+class Worker {
+ public:
+  // `fragments` are this worker's base fragments, moved in; replicated
+  // base relations are read directly (and concurrently) from `edb`.
+  // All pointers must outlive the worker.
+  static StatusOr<std::unique_ptr<Worker>> Create(
+      const RewriteBundle* bundle, int id, const Database* edb,
+      std::unordered_map<int, std::unique_ptr<Relation>> fragments,
+      CommNetwork* network, TerminationDetector* detector);
+
+  // Evaluates the initialization rules (those without t_in body atoms)
+  // and sends the resulting output delta. Call once before stepping.
+  void Init();
+
+  // Drains the incoming channels and, if anything new arrived, runs one
+  // semi-naive round over the new t_in delta and sends the new outputs.
+  // Returns false when there was nothing to do.
+  bool Step();
+
+  // Thread body: Init() + Step() until global termination is detected.
+  void RunLoop();
+
+  // Serialized (message-passing) mode: encode every outgoing tuple to
+  // bytes and decode on receipt instead of passing Message objects
+  // through shared memory. Set before Init().
+  void set_serialize_messages(bool on) { serialize_messages_ = on; }
+
+  const WorkerStats& stats() const { return stats_; }
+  const std::vector<RoundLog>& round_logs() const { return round_logs_; }
+  const Database& local_db() const { return local_db_; }
+  const CompiledProgram& compiled() const { return compiled_; }
+
+  // The worker's t_out relation for original derived predicate `p`.
+  const Relation& OutputRelation(Symbol p) const;
+
+ private:
+  Worker(const RewriteBundle* bundle, int id, const Database* edb,
+         std::unordered_map<int, std::unique_ptr<Relation>> fragments,
+         CommNetwork* network, TerminationDetector* detector);
+
+  Status Setup();
+
+  // Appends all pending channel messages into the t_in relations.
+  // Returns the number of messages drained.
+  size_t DrainChannels();
+
+  // Runs the delta variants of every processing rule over the current
+  // t_in deltas, then routes new t_out tuples.
+  void ProcessRound();
+
+  // Applies the sending rules to one freshly derived `pred` tuple,
+  // buffering per destination; FlushSends() enqueues the buffers.
+  void SendTuple(Symbol pred, const Tuple& tuple);
+  void FlushSends();
+
+  void EnsureLocalIndexes();
+
+  const RewriteBundle* bundle_;
+  int id_;
+  int num_processors_;
+  const Database* edb_;
+  CommNetwork* network_;
+  TerminationDetector* detector_;
+
+  const Program* local_program_;  // bundle_->per_processor[id_]
+  CompiledProgram compiled_;
+
+  Database local_db_;  // holds t_out / t_in relations (decorated names)
+  // Base fragments keyed by occurrence index (see RewriteBundle).
+  std::unordered_map<int, std::unique_ptr<Relation>> fragments_;
+  // Resolved data source for every (rule, body atom): local t_in
+  // relation, shared EDB relation, or fragment.
+  std::vector<std::vector<const Relation*>> body_sources_;
+
+  // Semi-naive watermarks.
+  std::unordered_map<Symbol, size_t> in_old_end_;   // by t_in symbol
+  std::unordered_map<Symbol, size_t> out_sent_end_; // by t_out symbol
+
+  std::vector<Message> drain_buffer_;
+  std::vector<int> dests_;  // scratch for SendTuple
+  WorkerStats stats_;
+  std::vector<RoundLog> round_logs_;
+  RoundLog* current_log_ = nullptr;  // active during Init/ProcessRound
+  uint64_t pending_received_ = 0;    // drained since the last round started
+  bool serialize_messages_ = false;
+  std::vector<std::vector<uint8_t>> byte_buffer_;  // scratch for drains
+  // Per-destination outgoing buffers, flushed once per round (one lock
+  // acquisition per destination instead of one per message).
+  std::vector<std::vector<Message>> send_buffers_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_WORKER_H_

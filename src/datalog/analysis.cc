@@ -1,0 +1,147 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace pdatalog {
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph graph;
+  for (const Rule& rule : program.rules) {
+    for (const Atom& atom : rule.body) {
+      graph.edges_[atom.predicate].insert(rule.head.predicate);
+    }
+  }
+  // Transitive closure by BFS from every source predicate. Programs have
+  // a handful of predicates, so this is more than fast enough.
+  for (const auto& [src, _] : graph.edges_) {
+    std::unordered_set<Symbol>& reach = graph.reach_[src];
+    std::deque<Symbol> frontier(graph.edges_[src].begin(),
+                                graph.edges_[src].end());
+    while (!frontier.empty()) {
+      Symbol p = frontier.front();
+      frontier.pop_front();
+      if (!reach.insert(p).second) continue;
+      auto it = graph.edges_.find(p);
+      if (it == graph.edges_.end()) continue;
+      for (Symbol q : it->second) frontier.push_back(q);
+    }
+  }
+  return graph;
+}
+
+bool DependencyGraph::Derives(Symbol from, Symbol to) const {
+  auto it = reach_.find(from);
+  return it != reach_.end() && it->second.count(to) > 0;
+}
+
+bool DependencyGraph::IsRecursiveRule(const Rule& rule) const {
+  for (const Atom& atom : rule.body) {
+    if (Derives(rule.head.predicate, atom.predicate)) return true;
+  }
+  return false;
+}
+
+bool DependencyGraph::HasRecursion(const Program& program) const {
+  return std::any_of(
+      program.rules.begin(), program.rules.end(),
+      [this](const Rule& rule) { return IsRecursiveRule(rule); });
+}
+
+bool IsRecursiveAtom(const Atom& atom, const ProgramInfo& info) {
+  return info.IsDerived(atom.predicate);
+}
+
+namespace {
+
+std::vector<Symbol> ArgVars(const Atom& atom) {
+  std::vector<Symbol> vars;
+  vars.reserve(atom.args.size());
+  for (const Term& t : atom.args) {
+    vars.push_back(t.is_var() ? t.sym : kInvalidSymbol);
+  }
+  return vars;
+}
+
+}  // namespace
+
+std::vector<Symbol> LinearSirup::HeadVarsX() const {
+  return ArgVars(rec.head);
+}
+std::vector<Symbol> LinearSirup::BodyVarsY() const {
+  return ArgVars(rec_body_atom());
+}
+std::vector<Symbol> LinearSirup::ExitVarsZ() const {
+  return ArgVars(exit.head);
+}
+
+StatusOr<LinearSirup> ExtractLinearSirup(const Program& program,
+                                         const ProgramInfo& info) {
+  if (info.derived.size() != 1) {
+    return Status::InvalidArgument(
+        "linear sirup must have exactly one derived predicate, found " +
+        std::to_string(info.derived.size()));
+  }
+  if (program.rules.size() != 2) {
+    return Status::InvalidArgument(
+        "linear sirup must have exactly two rules, found " +
+        std::to_string(program.rules.size()));
+  }
+
+  LinearSirup sirup;
+  sirup.t = *info.derived.begin();
+
+  const Rule* exit = nullptr;
+  const Rule* rec = nullptr;
+  for (const Rule& rule : program.rules) {
+    bool has_derived_body = std::any_of(
+        rule.body.begin(), rule.body.end(),
+        [&](const Atom& a) { return info.IsDerived(a.predicate); });
+    if (has_derived_body) {
+      if (rec != nullptr) {
+        return Status::InvalidArgument(
+            "linear sirup must have exactly one recursive rule");
+      }
+      rec = &rule;
+    } else {
+      if (exit != nullptr) {
+        return Status::InvalidArgument(
+            "linear sirup must have exactly one exit rule");
+      }
+      exit = &rule;
+    }
+  }
+  if (exit == nullptr || rec == nullptr) {
+    return Status::InvalidArgument(
+        "linear sirup needs one exit rule and one recursive rule");
+  }
+
+  if (exit->body.size() != 1) {
+    return Status::InvalidArgument(
+        "canonical exit rule must have a single base atom body: " +
+        ToString(*exit, *program.symbols));
+  }
+  sirup.exit = *exit;
+  sirup.s = exit->body[0].predicate;
+
+  sirup.rec = *rec;
+  int t_atoms = 0;
+  for (size_t i = 0; i < rec->body.size(); ++i) {
+    const Atom& atom = rec->body[i];
+    if (info.IsDerived(atom.predicate)) {
+      ++t_atoms;
+      sirup.rec_atom_index = static_cast<int>(i);
+    } else {
+      sirup.base_atoms.push_back(atom);
+    }
+  }
+  if (t_atoms != 1) {
+    return Status::InvalidArgument(
+        "recursive rule of a linear sirup must contain exactly one "
+        "occurrence of the derived predicate, found " +
+        std::to_string(t_atoms));
+  }
+  return sirup;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,82 @@
+// Program analysis: the "derives" relation, recursion detection, and
+// canonical linear-sirup extraction (Section 2 of the paper).
+#ifndef PDATALOG_DATALOG_ANALYSIS_H_
+#define PDATALOG_DATALOG_ANALYSIS_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/validate.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// The paper's "derives" relation: Q derives R iff Q occurs in the body of
+// a rule whose head is an R-atom. Edges run Q -> R.
+class DependencyGraph {
+ public:
+  static DependencyGraph Build(const Program& program);
+
+  // True iff `from` transitively derives `to` (path of length >= 1).
+  bool Derives(Symbol from, Symbol to) const;
+
+  // A rule is recursive iff its head predicate transitively derives some
+  // predicate in its body (Section 2).
+  bool IsRecursiveRule(const Rule& rule) const;
+
+  // True iff some rule of the program is recursive.
+  bool HasRecursion(const Program& program) const;
+
+  const std::unordered_map<Symbol, std::unordered_set<Symbol>>& edges()
+      const {
+    return edges_;
+  }
+
+ private:
+  // edges_[q] = predicates directly derived by q.
+  std::unordered_map<Symbol, std::unordered_set<Symbol>> edges_;
+  // reach_[q] = predicates transitively derived by q (path length >= 1).
+  std::unordered_map<Symbol, std::unordered_set<Symbol>> reach_;
+};
+
+// An atom with a derived predicate, as it occurs in a rule body. The
+// paper calls these "recursive atoms" in Section 7.
+bool IsRecursiveAtom(const Atom& atom, const ProgramInfo& info);
+
+// Canonical form of a linear sirup (Section 2):
+//
+//   e:  t(Z) :- s(Z).
+//   r:  t(X) :- t(Y), b_1, ..., b_k.
+//
+// where t is the single derived predicate, s and the b_m are base
+// predicates, and every head variable of r appears in r's body.
+struct LinearSirup {
+  Symbol t = kInvalidSymbol;  // output predicate
+  Symbol s = kInvalidSymbol;  // base predicate of the exit rule
+  Rule exit;
+  Rule rec;
+  int rec_atom_index = -1;       // position of the t-atom in rec.body
+  std::vector<Atom> base_atoms;  // b_1, ..., b_k in body order
+
+  int arity() const { return exit.head.arity(); }
+
+  const Atom& rec_body_atom() const { return rec.body[rec_atom_index]; }
+
+  // Variable sequences of the canonical form. Head or body argument
+  // positions holding constants yield kInvalidSymbol entries.
+  std::vector<Symbol> HeadVarsX() const;   // args of rec.head
+  std::vector<Symbol> BodyVarsY() const;   // args of the body t-atom
+  std::vector<Symbol> ExitVarsZ() const;   // args of exit.head
+};
+
+// Extracts the canonical linear sirup from `program`, or an error if the
+// program is not a linear sirup (more than one derived predicate, more
+// than two rules, a non-linear recursive rule, etc.).
+StatusOr<LinearSirup> ExtractLinearSirup(const Program& program,
+                                         const ProgramInfo& info);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_ANALYSIS_H_

@@ -1,0 +1,123 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pdatalog {
+
+bool Atom::IsGround() const {
+  return std::all_of(args.begin(), args.end(),
+                     [](const Term& t) { return t.is_const(); });
+}
+
+void CollectVariables(const Atom& atom, std::vector<Symbol>* out) {
+  for (const Term& t : atom.args) {
+    if (!t.is_var()) continue;
+    if (std::find(out->begin(), out->end(), t.sym) == out->end()) {
+      out->push_back(t.sym);
+    }
+  }
+}
+
+std::vector<Symbol> Rule::Variables() const {
+  std::vector<Symbol> vars;
+  CollectVariables(head, &vars);
+  for (const Atom& atom : body) CollectVariables(atom, &vars);
+  return vars;
+}
+
+bool Rule::IsRangeRestricted() const {
+  std::vector<Symbol> body_vars;
+  for (const Atom& atom : body) CollectVariables(atom, &body_vars);
+  for (const Term& t : head.args) {
+    if (!t.is_var()) continue;
+    if (std::find(body_vars.begin(), body_vars.end(), t.sym) ==
+        body_vars.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToString(const Term& term, const SymbolTable& symbols) {
+  return symbols.Name(term.sym);
+}
+
+std::string ToString(const Atom& atom, const SymbolTable& symbols) {
+  std::string out = symbols.Name(atom.predicate);
+  out += '(';
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(atom.args[i], symbols);
+  }
+  out += ')';
+  return out;
+}
+
+std::string ToString(const HashConstraint& c, const SymbolTable& symbols) {
+  std::string out =
+      c.label == kInvalidSymbol ? std::string("h") : symbols.Name(c.label);
+  out += '(';
+  for (size_t i = 0; i < c.vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.Name(c.vars[i]);
+  }
+  out += ") = ";
+  out += std::to_string(c.target);
+  return out;
+}
+
+std::string ToString(const Rule& rule, const SymbolTable& symbols) {
+  std::string out = ToString(rule.head, symbols);
+  if (!rule.body.empty() || !rule.constraints.empty()) {
+    out += " :- ";
+    bool first = true;
+    for (const Atom& atom : rule.body) {
+      if (!first) out += ", ";
+      first = false;
+      out += ToString(atom, symbols);
+    }
+    for (const HashConstraint& c : rule.constraints) {
+      if (!first) out += ", ";
+      first = false;
+      out += ToString(c, symbols);
+    }
+  }
+  out += '.';
+  return out;
+}
+
+std::string ToString(const Program& program) {
+  std::string out;
+  for (const Rule& rule : program.rules) {
+    out += ToString(rule, *program.symbols);
+    out += '\n';
+  }
+  for (const Atom& fact : program.facts) {
+    out += ToString(fact, *program.symbols);
+    out += ".\n";
+  }
+  for (const Atom& query : program.queries) {
+    out += "?- " + ToString(query, *program.symbols) + ".\n";
+  }
+  return out;
+}
+
+Term MakeTerm(SymbolTable& symbols, std::string_view name) {
+  bool is_var =
+      !name.empty() && (std::isupper(static_cast<unsigned char>(name[0])) ||
+                        name[0] == '_');
+  Symbol sym = symbols.Intern(name);
+  return is_var ? Term::Var(sym) : Term::Const(sym);
+}
+
+Atom MakeAtom(SymbolTable& symbols, std::string_view predicate,
+              const std::vector<std::string>& args) {
+  Atom atom;
+  atom.predicate = symbols.Intern(predicate);
+  atom.args.reserve(args.size());
+  for (const std::string& a : args) atom.args.push_back(MakeTerm(symbols, a));
+  return atom;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,93 @@
+#include "datalog/fact_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pdatalog {
+
+namespace {
+
+// Splits a line on tabs, commas, or runs of spaces.
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == ',' ||
+            line[i] == '\r')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != ',' && line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<size_t> LoadFactsFromString(std::string_view content,
+                                     const std::string& predicate,
+                                     SymbolTable* symbols, Database* db) {
+  Symbol pred = symbols->Intern(predicate);
+  Relation* rel = db->Find(pred);
+  int arity = rel == nullptr ? -1 : rel->arity();
+
+  size_t inserted = 0;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    std::string_view line = content.substr(
+        pos, eol == std::string_view::npos ? content.size() - pos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? content.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Comments and blanks.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+
+    std::vector<std::string_view> fields = SplitFields(line);
+    if (fields.empty()) continue;
+    if (static_cast<int>(fields.size()) > 32) {
+      return Status::InvalidArgument(
+          predicate + " line " + std::to_string(line_no) +
+          ": arity exceeds 32");
+    }
+    if (arity < 0) {
+      arity = static_cast<int>(fields.size());
+      rel = &db->GetOrCreate(pred, arity);
+    } else if (static_cast<int>(fields.size()) != arity) {
+      return Status::InvalidArgument(
+          predicate + " line " + std::to_string(line_no) + ": expected " +
+          std::to_string(arity) + " fields, found " +
+          std::to_string(fields.size()));
+    }
+    Value vals[32];
+    for (size_t k = 0; k < fields.size(); ++k) {
+      vals[k] = symbols->Intern(fields[k]);
+    }
+    if (rel->Insert(Tuple(vals, arity))) ++inserted;
+  }
+  return inserted;
+}
+
+StatusOr<size_t> LoadFactsFromFile(const std::string& path,
+                                   const std::string& predicate,
+                                   SymbolTable* symbols, Database* db) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open fact file '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return LoadFactsFromString(content.str(), predicate, symbols, db);
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,34 @@
+// Loading extensional facts from delimiter-separated text files, so the
+// CLI (and library users) can evaluate programs over external data.
+//
+// File format: one tuple per line; fields separated by tabs, commas or
+// runs of spaces; '%' or '#' starts a comment line; blank lines are
+// skipped. All fields are interned as constants.
+#ifndef PDATALOG_DATALOG_FACT_IO_H_
+#define PDATALOG_DATALOG_FACT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "datalog/symbol_table.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Parses `content` (the text of a fact file) into `db[predicate]`.
+// Every line must have the same field count; the relation is created
+// with that arity (or must match an existing relation's arity).
+// Returns the number of distinct tuples inserted.
+StatusOr<size_t> LoadFactsFromString(std::string_view content,
+                                     const std::string& predicate,
+                                     SymbolTable* symbols, Database* db);
+
+// Reads `path` and calls LoadFactsFromString.
+StatusOr<size_t> LoadFactsFromFile(const std::string& path,
+                                   const std::string& predicate,
+                                   SymbolTable* symbols, Database* db);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_FACT_IO_H_

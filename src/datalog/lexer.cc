@@ -1,0 +1,125 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace pdatalog {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string At(int line, int column) {
+  return " at line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (source[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      size_t n = 0;
+      while (i + n < source.size() && source[i + n] != '\n') ++n;
+      advance(n);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+
+    if (c == '(') {
+      tok.kind = TokenKind::kLParen;
+      advance(1);
+    } else if (c == ')') {
+      tok.kind = TokenKind::kRParen;
+      advance(1);
+    } else if (c == ',') {
+      tok.kind = TokenKind::kComma;
+      advance(1);
+    } else if (c == '.') {
+      tok.kind = TokenKind::kPeriod;
+      advance(1);
+    } else if (c == ':') {
+      if (i + 1 >= source.size() || source[i + 1] != '-') {
+        return Status::InvalidArgument("expected ':-'" + At(line, column));
+      }
+      tok.kind = TokenKind::kImplies;
+      advance(2);
+    } else if (c == '?') {
+      if (i + 1 >= source.size() || source[i + 1] != '-') {
+        return Status::InvalidArgument("expected '?-'" + At(line, column));
+      }
+      tok.kind = TokenKind::kQuery;
+      advance(2);
+    } else if (c == '\'') {
+      size_t n = 1;
+      while (i + n < source.size() && source[i + n] != '\'' &&
+             source[i + n] != '\n') {
+        ++n;
+      }
+      if (i + n >= source.size() || source[i + n] != '\'') {
+        return Status::InvalidArgument("unterminated quoted constant" +
+                                       At(line, column));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::string(source.substr(i + 1, n - 1));
+      advance(n + 1);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < source.size() &&
+                std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t n = (c == '-') ? 1 : 0;
+      while (i + n < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i + n]))) {
+        ++n;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = std::string(source.substr(i, n));
+      advance(n);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t n = 0;
+      while (i + n < source.size() && IsIdentChar(source[i + n])) ++n;
+      tok.text = std::string(source.substr(i, n));
+      bool is_var = std::isupper(static_cast<unsigned char>(c)) || c == '_';
+      tok.kind = is_var ? TokenKind::kVariable : TokenKind::kIdentifier;
+      advance(n);
+    } else {
+      return Status::InvalidArgument(
+          std::string("unexpected character '") + c + "'" + At(line, column));
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,41 @@
+// Tokenizer for the textual Datalog syntax accepted by parser.h.
+#ifndef PDATALOG_DATALOG_LEXER_H_
+#define PDATALOG_DATALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdatalog {
+
+enum class TokenKind {
+  kIdentifier,   // lowercase-initial: predicate or constant
+  kVariable,     // uppercase- or '_'-initial
+  kNumber,       // integer literal (treated as a constant symbol)
+  kString,       // 'quoted constant'
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kPeriod,       // .
+  kImplies,      // :-
+  kQuery,        // ?-
+  kEnd,          // end of input
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier/variable/number/string spelling
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes `source`. Comments run from '%' to end of line. Returns an
+// error with line/column info on any unrecognized character or unclosed
+// string. The final token is always kEnd.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_LEXER_H_

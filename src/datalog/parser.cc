@@ -1,0 +1,136 @@
+#include "datalog/parser.h"
+
+#include <vector>
+
+#include "datalog/lexer.h"
+
+namespace pdatalog {
+
+namespace {
+
+// Token-stream cursor with one-clause lookahead helpers.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  StatusOr<Program> Parse() {
+    Program program;
+    program.symbols = symbols_;
+    while (Peek().kind != TokenKind::kEnd) {
+      if (Peek().kind == TokenKind::kQuery) {
+        Next();
+        StatusOr<Atom> query = ParseAtom();
+        if (!query.ok()) return query.status();
+        if (Peek().kind != TokenKind::kPeriod) {
+          return Error("expected '.' after query", Peek());
+        }
+        Next();
+        program.queries.push_back(std::move(*query));
+        continue;
+      }
+      StatusOr<Atom> head = ParseAtom();
+      if (!head.ok()) return head.status();
+
+      if (Peek().kind == TokenKind::kPeriod) {
+        Next();
+        if (!head->IsGround()) {
+          return Error("fact must be ground", Peek());
+        }
+        program.facts.push_back(std::move(*head));
+        continue;
+      }
+      if (Peek().kind != TokenKind::kImplies) {
+        return Error("expected '.' or ':-' after atom", Peek());
+      }
+      Next();
+
+      Rule rule;
+      rule.head = std::move(*head);
+      while (true) {
+        StatusOr<Atom> atom = ParseAtom();
+        if (!atom.ok()) return atom.status();
+        rule.body.push_back(std::move(*atom));
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind != TokenKind::kPeriod) {
+        return Error("expected '.' at end of rule", Peek());
+      }
+      Next();
+      program.rules.push_back(std::move(rule));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  static Status Error(const std::string& message, const Token& tok) {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(tok.line) + ", column " +
+                                   std::to_string(tok.column));
+  }
+
+  StatusOr<Atom> ParseAtom() {
+    const Token& name = Peek();
+    if (name.kind != TokenKind::kIdentifier) {
+      return Error("expected predicate name", name);
+    }
+    Next();
+    Atom atom;
+    atom.predicate = symbols_->Intern(name.text);
+    if (Peek().kind != TokenKind::kLParen) return atom;  // zero-arity
+    Next();
+    while (true) {
+      StatusOr<Term> term = ParseTerm();
+      if (!term.ok()) return term.status();
+      atom.args.push_back(*term);
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      return Error("expected ')' after atom arguments", Peek());
+    }
+    Next();
+    return atom;
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        Next();
+        return Term::Var(symbols_->Intern(tok.text));
+      case TokenKind::kIdentifier:
+      case TokenKind::kNumber:
+      case TokenKind::kString:
+        Next();
+        return Term::Const(symbols_->Intern(tok.text));
+      default:
+        return Error("expected term", tok);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SymbolTable* symbols_;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(std::string_view source, SymbolTable* symbols) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens), symbols);
+  return parser.Parse();
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,35 @@
+// Recursive-descent parser for textual Datalog.
+//
+// Grammar (Prolog-flavored):
+//
+//   program  := clause*
+//   clause   := atom '.'                      (fact, must be ground)
+//             | atom ':-' atom (',' atom)* '.'  (rule)
+//   atom     := predicate '(' term (',' term)* ')'
+//             | predicate                       (zero-arity)
+//   term     := VARIABLE | identifier | NUMBER | 'quoted constant'
+//
+// Identifiers starting with an uppercase letter or '_' are variables;
+// everything else is a constant. '%' starts a line comment.
+//
+// Facts are collected into Program::facts; clauses with bodies into
+// Program::rules. A ground head with an empty body is always treated as
+// a fact (validation later checks that facts only use base predicates or
+// seed derived ones consistently).
+#ifndef PDATALOG_DATALOG_PARSER_H_
+#define PDATALOG_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Parses `source` into a Program whose names are interned in `symbols`.
+// `symbols` must outlive the returned program.
+StatusOr<Program> ParseProgram(std::string_view source, SymbolTable* symbols);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_PARSER_H_

@@ -1,0 +1,99 @@
+#include "datalog/query.h"
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+
+namespace pdatalog {
+
+std::string QueryResult::ToString(const SymbolTable& symbols) const {
+  if (IsBoolean()) return Holds() ? "true\n" : "false\n";
+  std::vector<Tuple> sorted = bindings;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Tuple& t : sorted) {
+    for (size_t v = 0; v < variables.size(); ++v) {
+      if (v > 0) out += ", ";
+      out += symbols.Name(variables[v]) + " = " + symbols.Name(t[v]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
+                                    SymbolTable* symbols,
+                                    const Database& db) {
+  // Reuse the program parser: a query atom with variables parses as the
+  // head of a bodyless clause only if ground, so parse `q :- ATOM.`
+  // and take the body atom.
+  std::string wrapped = "q__query :- " + std::string(query_text);
+  // Allow an optional trailing period in the query text.
+  while (!wrapped.empty() &&
+         (wrapped.back() == '.' || wrapped.back() == ' ' ||
+          wrapped.back() == '\n')) {
+    wrapped.pop_back();
+  }
+  wrapped += ".";
+  StatusOr<Program> parsed = ParseProgram(wrapped, symbols);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("malformed query '" +
+                                   std::string(query_text) +
+                                   "': " + parsed.status().message());
+  }
+  if (parsed->rules.size() != 1 || parsed->rules[0].body.size() != 1) {
+    return Status::InvalidArgument("query must be a single atom");
+  }
+  const Atom& atom = parsed->rules[0].body[0];
+
+  QueryResult result;
+  CollectVariables(atom, &result.variables);
+
+  if (atom.arity() > 32) {
+    return Status::InvalidArgument("query arity exceeds 32");
+  }
+  const Relation* rel = db.Find(atom.predicate);
+  if (rel == nullptr) return result;
+  if (rel->arity() != atom.arity()) {
+    return Status::InvalidArgument(
+        "query arity " + std::to_string(atom.arity()) +
+        " does not match relation arity " + std::to_string(rel->arity()));
+  }
+
+  Relation dedup(static_cast<int>(result.variables.size()));
+  for (size_t row = 0; row < rel->size(); ++row) {
+    const Tuple& t = rel->row(row);
+    bool match = true;
+    Value binding[32];
+    for (int c = 0; c < atom.arity() && match; ++c) {
+      const Term& term = atom.args[c];
+      if (term.is_const()) {
+        if (t[c] != term.sym) match = false;
+        continue;
+      }
+      // Variable: bind or check consistency with earlier columns.
+      for (size_t v = 0; v < result.variables.size(); ++v) {
+        if (result.variables[v] != term.sym) continue;
+        bool bound_earlier = false;
+        for (int c2 = 0; c2 < c; ++c2) {
+          if (atom.args[c2].is_var() && atom.args[c2].sym == term.sym) {
+            bound_earlier = true;
+            break;
+          }
+        }
+        if (bound_earlier) {
+          if (binding[v] != t[c]) match = false;
+        } else {
+          binding[v] = t[c];
+        }
+        break;
+      }
+    }
+    if (!match) continue;
+    Tuple projected(binding, static_cast<int>(result.variables.size()));
+    if (dedup.Insert(projected)) result.bindings.push_back(projected);
+  }
+  return result;
+}
+
+}  // namespace pdatalog

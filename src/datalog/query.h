@@ -1,0 +1,43 @@
+// Point/pattern queries against evaluated relations: given an atom such
+// as `anc(alice, X)`, returns the bindings of its variables. This is
+// the "answer to the query" step the paper's final pooling feeds.
+#ifndef PDATALOG_DATALOG_QUERY_H_
+#define PDATALOG_DATALOG_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct QueryResult {
+  // The query's distinct variables in first-occurrence order; empty for
+  // a ground (boolean) query.
+  std::vector<Symbol> variables;
+  // One tuple per match, projected onto `variables` (deduplicated). A
+  // ground query yields a single empty tuple when it holds, none when
+  // it does not.
+  std::vector<Tuple> bindings;
+
+  bool IsBoolean() const { return variables.empty(); }
+  bool Holds() const { return !bindings.empty(); }
+
+  // "X = alice, Y = bob" lines, sorted; "true"/"false" for boolean.
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+// Parses `query_text` as a single atom (trailing '.' optional) and
+// matches it against the corresponding relation of `db`. Unknown
+// predicates yield an empty result (not an error), like an empty
+// relation would.
+StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
+                                    SymbolTable* symbols,
+                                    const Database& db);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_QUERY_H_

@@ -1,0 +1,26 @@
+#include "datalog/symbol_table.h"
+
+#include <cassert>
+
+namespace pdatalog {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::Name(Symbol sym) const {
+  assert(sym < names_.size());
+  return names_[sym];
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,50 @@
+// String interning shared by programs, databases and the runtime.
+//
+// Every name in the system — predicate symbols, variable names, and data
+// constants — is interned once into a `Symbol` (a dense 32-bit id).
+// Tuples then store plain ids, which makes hashing, equality and
+// discriminating functions cheap and deterministic.
+#ifndef PDATALOG_DATALOG_SYMBOL_TABLE_H_
+#define PDATALOG_DATALOG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pdatalog {
+
+using Symbol = uint32_t;
+
+inline constexpr Symbol kInvalidSymbol = 0xffffffffu;
+
+// Bidirectional string <-> Symbol map. Not thread-safe for interning;
+// the parallel engine only reads it (all interning happens before a run).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `name`, interning it on first use.
+  Symbol Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidSymbol if never interned.
+  Symbol Lookup(std::string_view name) const;
+
+  // Precondition: `sym` was returned by Intern().
+  const std::string& Name(Symbol sym) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // deque: growing never moves existing strings, so the string_view keys
+  // in index_ (which point into names_) stay valid.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_SYMBOL_TABLE_H_

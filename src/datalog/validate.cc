@@ -1,0 +1,85 @@
+#include "datalog/validate.h"
+
+#include <algorithm>
+
+namespace pdatalog {
+
+namespace {
+
+Status CheckArity(const Atom& atom, const SymbolTable& symbols,
+                  ProgramInfo* info) {
+  auto [it, inserted] = info->arity.emplace(atom.predicate, atom.arity());
+  if (inserted) {
+    info->predicates.push_back(atom.predicate);
+    return Status::Ok();
+  }
+  if (it->second != atom.arity()) {
+    return Status::InvalidArgument(
+        "predicate '" + symbols.Name(atom.predicate) +
+        "' used with arities " + std::to_string(it->second) + " and " +
+        std::to_string(atom.arity()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Validate(const Program& program, ProgramInfo* info) {
+  *info = ProgramInfo();
+  if (program.symbols == nullptr) {
+    return Status::InvalidArgument("program has no symbol table");
+  }
+  const SymbolTable& symbols = *program.symbols;
+
+  for (const Rule& rule : program.rules) {
+    PDATALOG_RETURN_IF_ERROR(CheckArity(rule.head, symbols, info));
+    for (const Atom& atom : rule.body) {
+      PDATALOG_RETURN_IF_ERROR(CheckArity(atom, symbols, info));
+    }
+    if (!rule.IsRangeRestricted()) {
+      return Status::InvalidArgument(
+          "rule is not range-restricted (unsafe): " + ToString(rule, symbols));
+    }
+    // Constraint variables must be bound by the body; otherwise a rewritten
+    // rule could not be evaluated (Section 3 requires discriminating
+    // variables to appear in the rule).
+    std::vector<Symbol> body_vars;
+    for (const Atom& atom : rule.body) CollectVariables(atom, &body_vars);
+    for (const HashConstraint& c : rule.constraints) {
+      for (Symbol v : c.vars) {
+        if (std::find(body_vars.begin(), body_vars.end(), v) ==
+            body_vars.end()) {
+          return Status::InvalidArgument(
+              "hash-constraint variable '" + symbols.Name(v) +
+              "' does not occur in the rule body: " + ToString(rule, symbols));
+        }
+      }
+    }
+    info->derived.insert(rule.head.predicate);
+  }
+
+  for (const Atom& fact : program.facts) {
+    if (!fact.IsGround()) {
+      return Status::InvalidArgument("fact is not ground: " +
+                                     ToString(fact, symbols));
+    }
+    PDATALOG_RETURN_IF_ERROR(CheckArity(fact, symbols, info));
+    if (info->derived.count(fact.predicate) > 0) {
+      return Status::InvalidArgument(
+          "predicate '" + symbols.Name(fact.predicate) +
+          "' appears both as a fact and in a rule head; base predicates may "
+          "not appear in rule heads (Section 2)");
+    }
+  }
+
+  for (const Atom& query : program.queries) {
+    PDATALOG_RETURN_IF_ERROR(CheckArity(query, symbols, info));
+  }
+
+  for (Symbol p : info->predicates) {
+    if (info->derived.count(p) == 0) info->base.insert(p);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdatalog

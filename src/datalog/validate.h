@@ -1,0 +1,43 @@
+// Static checks and base/derived classification for parsed or
+// programmatically built programs.
+#ifndef PDATALOG_DATALOG_VALIDATE_H_
+#define PDATALOG_DATALOG_VALIDATE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Classification and signature information computed by Validate().
+struct ProgramInfo {
+  // Predicate -> arity (consistent across all uses).
+  std::unordered_map<Symbol, int> arity;
+  // All predicates in first-appearance order.
+  std::vector<Symbol> predicates;
+  // Derived (intensional) predicates: those heading at least one rule.
+  std::unordered_set<Symbol> derived;
+  // Base (extensional) predicates: all others.
+  std::unordered_set<Symbol> base;
+
+  bool IsDerived(Symbol p) const { return derived.count(p) > 0; }
+  bool IsBase(Symbol p) const { return base.count(p) > 0; }
+};
+
+// Checks the program and fills `info`:
+//   * every predicate is used with one arity everywhere;
+//   * every rule is range-restricted (safety: head variables occur in the
+//     body), per the paper's safety assumption in Section 2;
+//   * facts are ground;
+//   * no predicate is both a fact predicate and a rule head (the paper
+//     forbids base predicates in rule heads; seed data for derived
+//     predicates must instead be written as a base relation plus an exit
+//     rule).
+Status Validate(const Program& program, ProgramInfo* info);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_DATALOG_VALIDATE_H_

@@ -1,0 +1,122 @@
+#include "eval/incremental.h"
+
+namespace pdatalog {
+
+StatusOr<IncrementalEvaluator> IncrementalEvaluator::Create(
+    const Program& program, const ProgramInfo& info) {
+  IncrementalEvaluator evaluator(&program, &info);
+
+  // Compile with *every* predicate delta-tracked: base atoms get delta
+  // variants too, so newly added facts drive rounds exactly like newly
+  // derived tuples.
+  ProgramInfo all_delta = info;
+  for (Symbol p : info.predicates) {
+    all_delta.derived.insert(p);
+  }
+  all_delta.base.clear();
+  StatusOr<CompiledProgram> compiled =
+      CompiledProgram::Compile(program, all_delta);
+  if (!compiled.ok()) return compiled.status();
+  evaluator.compiled_ = std::move(*compiled);
+
+  for (Symbol p : info.predicates) {
+    evaluator.db_.GetOrCreate(p, info.arity.at(p));
+    evaluator.marks_.emplace(p, Watermark{});
+  }
+  return evaluator;
+}
+
+StatusOr<bool> IncrementalEvaluator::AddFact(Symbol predicate,
+                                             const Tuple& tuple) {
+  if (info_->IsDerived(predicate)) {
+    return Status::InvalidArgument(
+        "cannot add facts for derived predicate '" +
+        program_->symbols->Name(predicate) + "'");
+  }
+  Relation* rel = db_.Find(predicate);
+  if (rel == nullptr || rel->arity() != tuple.arity()) {
+    return Status::InvalidArgument("unknown predicate or arity mismatch");
+  }
+  return rel->Insert(tuple);
+}
+
+StatusOr<EvalStats> IncrementalEvaluator::Evaluate() {
+  EvalStats batch;
+  ExecStats exec;
+
+  // Rules with empty bodies (programmatically built fact-rules) fire
+  // once, on the first Evaluate() only.
+  if (first_run_) {
+    first_run_ = false;
+    for (size_t r = 0; r < program_->rules.size(); ++r) {
+      const Rule& rule = program_->rules[r];
+      if (!rule.body.empty()) continue;
+      Relation* head_rel = db_.Find(rule.head.predicate);
+      JoinExecutor::Execute(
+          compiled_.rules()[r].full, {}, nullptr,
+          [&](const Tuple& t) {
+            if (head_rel->Insert(t)) ++batch.tuples_inserted;
+          },
+          &exec);
+    }
+  }
+
+  while (true) {
+    // Freeze this round's windows; anything appended since the last
+    // round (new facts or derived tuples) becomes the delta.
+    bool any_delta = false;
+    for (auto& [p, mark] : marks_) {
+      mark.cur_end = db_.Find(p)->size();
+      if (mark.cur_end > mark.old_end) any_delta = true;
+    }
+    if (!any_delta) break;
+    ++batch.rounds;
+
+    for (const auto& [pred, mask] : compiled_.required_indexes()) {
+      db_.Find(pred)->EnsureIndex(mask);
+    }
+
+    for (size_t r = 0; r < program_->rules.size(); ++r) {
+      const Rule& rule = program_->rules[r];
+      const auto& variants = compiled_.rules()[r];
+      Relation* head_rel = db_.Find(rule.head.predicate);
+      for (const auto& [delta_idx, delta_rule] : variants.deltas) {
+        std::vector<AtomInput> inputs(rule.body.size());
+        bool empty_delta = false;
+        for (size_t b = 0; b < rule.body.size(); ++b) {
+          const Relation* rel = db_.Find(rule.body[b].predicate);
+          const Watermark& mark = marks_.at(rule.body[b].predicate);
+          if (static_cast<int>(b) == delta_idx) {
+            inputs[b] = AtomInput{rel, mark.old_end, mark.cur_end};
+            if (mark.old_end == mark.cur_end) empty_delta = true;
+          } else if (static_cast<int>(b) < delta_idx) {
+            inputs[b] = AtomInput{rel, 0, mark.old_end};
+          } else {
+            inputs[b] = AtomInput{rel, 0, mark.cur_end};
+          }
+        }
+        if (empty_delta) continue;
+        JoinExecutor::Execute(
+            delta_rule, inputs, nullptr,
+            [&](const Tuple& t) {
+              if (head_rel->Insert(t)) ++batch.tuples_inserted;
+            },
+            &exec);
+      }
+    }
+
+    for (auto& [p, mark] : marks_) {
+      mark.old_end = mark.cur_end;
+    }
+  }
+
+  batch.firings = exec.firings;
+  batch.rows_examined = exec.rows_examined;
+  stats_.rounds += batch.rounds;
+  stats_.firings += batch.firings;
+  stats_.tuples_inserted += batch.tuples_inserted;
+  stats_.rows_examined += batch.rows_examined;
+  return batch;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,147 @@
+// Rule compilation and join execution.
+//
+// A rule body is compiled once into a `CompiledRule`: an ordered sequence
+// of steps, one per body atom, each annotated with which argument
+// positions are constants, already-bound variables, or fresh variables.
+// Steps with at least one bound position probe a hash index on the bound
+// columns; steps with none scan.
+//
+// The same compiled rule is executed in different *modes* by the
+// evaluators: the caller supplies, per body atom, the relation to read
+// and the row range [begin, end) to consider. This is how semi-naive
+// delta variants and the parallel workers' local relations reuse one
+// compilation path.
+//
+// Hash constraints (the paper's `h(v(r)) = i` conjuncts) are checked as
+// soon as all their variables are bound, through a ConstraintEvaluator
+// supplied by the caller (the discriminating-function registry in core/).
+#ifndef PDATALOG_EVAL_PLAN_H_
+#define PDATALOG_EVAL_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/validate.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Evaluates hash constraints. Implemented by
+// core/discriminating.h:DiscriminatingRegistry.
+class ConstraintEvaluator {
+ public:
+  virtual ~ConstraintEvaluator() = default;
+
+  // Returns the processor id assigned by discriminating function
+  // `function` to the ground sequence `values[0..n)`.
+  virtual int Evaluate(int function, const Value* values, int n) const = 0;
+};
+
+// Where each argument position of a step (or the head) gets its value.
+struct PlanPos {
+  enum class Kind { kConst, kBound, kFree };
+  Kind kind;
+  Value value = 0;  // kConst: the constant symbol id
+  int var = -1;     // kBound/kFree: dense rule-local variable id
+};
+
+struct PlanStep {
+  int body_index;    // index of this atom in the original rule body
+  Symbol predicate;
+  uint32_t index_mask;  // columns with kConst/kBound positions
+  std::vector<PlanPos> positions;
+  // Constraints (indices into rule.constraints) that become fully bound
+  // after this step and must be checked here.
+  std::vector<int> constraints_ready;
+};
+
+// A rule compiled for execution. Owns a copy of the rule.
+class CompiledRule {
+ public:
+  // Compiles `rule`, ordering body atoms greedily by number of bound
+  // positions. `preferred_first` (a body index, or -1) forces that atom
+  // to be joined first — evaluators pass the delta atom here.
+  // `greedy_order` = false keeps the remaining atoms in textual body
+  // order (the ablation baseline; see bench_ablation).
+  static StatusOr<CompiledRule> Compile(const Rule& rule,
+                                        int preferred_first = -1,
+                                        bool greedy_order = true);
+
+  const Rule& rule() const { return rule_; }
+  int num_vars() const { return num_vars_; }
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  const std::vector<PlanPos>& head_recipe() const { return head_recipe_; }
+
+  // (predicate, column mask) pairs for which indexes must exist and
+  // cover all scanned rows before Execute() runs.
+  const std::vector<std::pair<Symbol, uint32_t>>& required_indexes() const {
+    return required_indexes_;
+  }
+
+  // The variable ids (in rule-local numbering) of `vars`; -1 for names
+  // that do not occur in the rule body.
+  std::vector<int> VarIds(const std::vector<Symbol>& vars) const;
+
+  // Per constraint (parallel to rule().constraints): dense variable ids
+  // of its discriminating sequence.
+  const std::vector<std::vector<int>>& constraint_var_ids() const {
+    return constraint_var_ids_;
+  }
+
+  // Human-readable access plan (EXPLAIN output), e.g.
+  //   anc(X, Y) :- par(X, Z), anc_in(Z, Y), h(Z) = 0.
+  //     1. scan anc_in(Z, Y)            [check h(Z) = 0]
+  //     2. probe par(X, Z) on (Z)
+  //     emit anc(X, Y)
+  std::string DebugString(const SymbolTable& symbols) const;
+
+ private:
+  Rule rule_;
+  int num_vars_ = 0;
+  std::vector<Symbol> var_names_;  // dense id -> symbol
+  std::vector<PlanStep> steps_;
+  std::vector<PlanPos> head_recipe_;
+  // Per constraint: dense var ids of its discriminating sequence.
+  std::vector<std::vector<int>> constraint_var_ids_;
+  std::vector<std::pair<Symbol, uint32_t>> required_indexes_;
+
+  friend class JoinExecutor;
+};
+
+// One body atom's data source for a particular execution.
+struct AtomInput {
+  const Relation* relation = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Statistics of one Execute() call.
+struct ExecStats {
+  // Successful ground substitutions (Definition 4 "successful firings"):
+  // complete bindings satisfying every body atom and constraint. Counted
+  // whether or not the derived head tuple was already known.
+  uint64_t firings = 0;
+  // Index probes + scan rows examined; a rough work measure.
+  uint64_t rows_examined = 0;
+};
+
+// Executes a compiled rule.
+class JoinExecutor {
+ public:
+  // `inputs[i]` feeds the rule's body atom i (original body order).
+  // `constraint_eval` may be null iff the rule has no constraints.
+  // `sink` is called once per successful firing with the instantiated
+  // head tuple; it returns void and may deduplicate internally.
+  static void Execute(const CompiledRule& compiled,
+                      const std::vector<AtomInput>& inputs,
+                      const ConstraintEvaluator* constraint_eval,
+                      const std::function<void(const Tuple&)>& sink,
+                      ExecStats* stats);
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_EVAL_PLAN_H_

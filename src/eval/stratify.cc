@@ -1,0 +1,121 @@
+#include "eval/stratify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pdatalog {
+
+namespace {
+
+// Iterative Tarjan SCC over derived predicates.
+class Tarjan {
+ public:
+  Tarjan(const std::vector<Symbol>& nodes,
+         const std::unordered_map<Symbol, std::vector<Symbol>>& adj)
+      : nodes_(nodes), adj_(adj) {
+    for (Symbol v : nodes_) {
+      if (index_.find(v) == index_.end()) Strongconnect(v);
+    }
+  }
+
+  // SCCs in reverse topological order (Tarjan's natural output order).
+  const std::vector<std::vector<Symbol>>& components() const {
+    return components_;
+  }
+
+ private:
+  void Strongconnect(Symbol root) {
+    struct Frame {
+      Symbol v;
+      size_t edge = 0;
+    };
+    std::vector<Frame> call_stack{{root}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      Symbol v = frame.v;
+      if (frame.edge == 0) {
+        index_[v] = lowlink_[v] = counter_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool recursed = false;
+      auto it = adj_.find(v);
+      if (it != adj_.end()) {
+        while (frame.edge < it->second.size()) {
+          Symbol w = it->second[frame.edge++];
+          if (index_.find(w) == index_.end()) {
+            call_stack.push_back({w});
+            recursed = true;
+            break;
+          }
+          if (on_stack_[w]) {
+            lowlink_[v] = std::min(lowlink_[v], index_[w]);
+          }
+        }
+      }
+      if (recursed) continue;
+      if (lowlink_[v] == index_[v]) {
+        std::vector<Symbol> component;
+        while (true) {
+          Symbol w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(component.begin(), component.end());
+        components_.push_back(std::move(component));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        Frame& parent = call_stack.back();
+        lowlink_[parent.v] = std::min(lowlink_[parent.v], lowlink_[v]);
+      }
+    }
+  }
+
+  const std::vector<Symbol>& nodes_;
+  const std::unordered_map<Symbol, std::vector<Symbol>>& adj_;
+  int counter_ = 0;
+  std::unordered_map<Symbol, int> index_;
+  std::unordered_map<Symbol, int> lowlink_;
+  std::unordered_map<Symbol, bool> on_stack_;
+  std::vector<Symbol> stack_;
+  std::vector<std::vector<Symbol>> components_;
+};
+
+}  // namespace
+
+Stratification Stratify(const Program& program, const ProgramInfo& info) {
+  // Dependency edges between derived predicates: head -> body (so that
+  // Tarjan's reverse-topological SCC order emits dependencies first).
+  std::vector<Symbol> nodes;
+  for (Symbol p : info.predicates) {
+    if (info.IsDerived(p)) nodes.push_back(p);
+  }
+  std::unordered_map<Symbol, std::vector<Symbol>> adj;
+  for (const Rule& rule : program.rules) {
+    for (const Atom& atom : rule.body) {
+      if (info.IsDerived(atom.predicate)) {
+        adj[rule.head.predicate].push_back(atom.predicate);
+      }
+    }
+  }
+
+  Tarjan tarjan(nodes, adj);
+
+  Stratification out;
+  out.strata = tarjan.components();
+  out.rules_by_stratum.resize(out.strata.size());
+  std::unordered_map<Symbol, int> stratum_of;
+  for (size_t s = 0; s < out.strata.size(); ++s) {
+    for (Symbol p : out.strata[s]) stratum_of[p] = static_cast<int>(s);
+  }
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    out.rules_by_stratum[stratum_of.at(program.rules[r].head.predicate)]
+        .push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+}  // namespace pdatalog

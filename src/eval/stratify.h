@@ -1,0 +1,30 @@
+// Stratification of positive Datalog programs by strongly connected
+// components of the predicate dependency graph: lower strata are
+// evaluated to fixpoint first, so rules of upper strata never rerun
+// while their inputs are still growing.
+#ifndef PDATALOG_EVAL_STRATIFY_H_
+#define PDATALOG_EVAL_STRATIFY_H_
+
+#include <vector>
+
+#include "datalog/analysis.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct Stratification {
+  // Derived predicates grouped by SCC, in topological (bottom-up)
+  // order: stratum s only depends on strata < s and base predicates.
+  std::vector<std::vector<Symbol>> strata;
+  // rules_by_stratum[s] = indices into Program::rules whose head
+  // predicate lies in stratum s.
+  std::vector<std::vector<int>> rules_by_stratum;
+};
+
+// Computes the condensation of the derived-predicate dependency graph
+// (Tarjan SCC + topological order of components).
+Stratification Stratify(const Program& program, const ProgramInfo& info);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_EVAL_STRATIFY_H_

@@ -1,0 +1,84 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pdatalog {
+
+ColumnIndex::ColumnIndex(uint32_t mask, int arity) : mask_(mask) {
+  for (int c = 0; c < arity; ++c) {
+    if (mask & (1u << c)) key_columns_.push_back(c);
+  }
+  assert(std::popcount(mask) == static_cast<int>(key_columns_.size()));
+}
+
+Tuple ColumnIndex::MakeKey(const Tuple& row) const {
+  Value buf[32];
+  assert(key_columns_.size() <= 32);
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    buf[i] = row[key_columns_[i]];
+  }
+  return Tuple(buf, static_cast<int>(key_columns_.size()));
+}
+
+const std::vector<uint32_t>* ColumnIndex::Lookup(const Tuple& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void ColumnIndex::Add(const Tuple& row, uint32_t row_id) {
+  map_[MakeKey(row)].push_back(row_id);
+}
+
+bool Relation::Insert(const Tuple& tuple) {
+  assert(tuple.arity() == arity_);
+  if (dedup_.find(tuple) != dedup_.end()) return false;
+  uint32_t id = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(tuple);
+  dedup_.insert(RowRef{id});
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return dedup_.find(tuple) != dedup_.end();
+}
+
+const ColumnIndex& Relation::EnsureIndex(uint32_t mask) {
+  auto [it, inserted] = indexes_.try_emplace(mask, mask, arity_);
+  ColumnIndex& index = it->second;
+  for (size_t i = index.built_upto(); i < rows_.size(); ++i) {
+    index.Add(rows_[i], static_cast<uint32_t>(i));
+  }
+  index.set_built_upto(rows_.size());
+  return index;
+}
+
+const ColumnIndex* Relation::GetIndex(uint32_t mask) const {
+  auto it = indexes_.find(mask);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::string Relation::ToSortedString(const SymbolTable& symbols) const {
+  // Sort by constant names (not interned ids) so dumps compare equal
+  // across databases whose symbol tables interned in different orders.
+  std::vector<Tuple> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(),
+            [&symbols](const Tuple& a, const Tuple& b) {
+              if (a.arity() != b.arity()) return a.arity() < b.arity();
+              for (int c = 0; c < a.arity(); ++c) {
+                const std::string& na = symbols.Name(a[c]);
+                const std::string& nb = symbols.Name(b[c]);
+                if (na != nb) return na < nb;
+              }
+              return false;
+            });
+  std::string out;
+  for (const Tuple& t : sorted) {
+    out += t.ToString(symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,124 @@
+// In-memory relations with set semantics, append-only row storage, and
+// lazily built hash indexes.
+//
+// Rows are append-only and deduplicated on insert, which gives the
+// semi-naive evaluator its delta windows for free: the tuples derived in
+// round k occupy the contiguous row range [watermark_{k-1}, watermark_k).
+// Evaluators track watermarks; the relation itself is oblivious to them.
+//
+// Thread-safety: a Relation is either worker-local (mutable, no locking
+// needed) or shared read-only across workers (base relations). For the
+// shared case, all needed indexes must be built before the parallel run
+// via EnsureIndex(); lookups afterwards are const and race-free.
+#ifndef PDATALOG_STORAGE_RELATION_H_
+#define PDATALOG_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace pdatalog {
+
+// Hash index over a subset of columns, identified by a bit mask
+// (bit c set => column c is part of the key). Maps key projections to
+// ascending row ids.
+class ColumnIndex {
+ public:
+  ColumnIndex(uint32_t mask, int arity);
+
+  uint32_t mask() const { return mask_; }
+
+  // Row ids whose projection on the masked columns equals `key`
+  // (ascending). `key`'s arity must equal the mask's popcount.
+  const std::vector<uint32_t>* Lookup(const Tuple& key) const;
+
+  // Extracts the key projection of `row` for this index.
+  Tuple MakeKey(const Tuple& row) const;
+
+  void Add(const Tuple& row, uint32_t row_id);
+
+  size_t built_upto() const { return built_upto_; }
+  void set_built_upto(size_t n) { built_upto_ = n; }
+
+ private:
+  uint32_t mask_;
+  std::vector<int> key_columns_;  // columns in the mask, ascending
+  size_t built_upto_ = 0;         // rows [0, built_upto_) are indexed
+  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map_;
+};
+
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+  // Not copyable or movable: the dedup table holds a pointer to rows_.
+  // Databases store relations behind unique_ptr.
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  int arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  // Inserts `tuple` if absent. Returns true iff it was new.
+  bool Insert(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const;
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  // Returns the index for `mask`, creating it if needed and extending it
+  // to cover all current rows. Mutating: not for concurrent use.
+  const ColumnIndex& EnsureIndex(uint32_t mask);
+
+  // Returns the index for `mask` if it exists, else nullptr. The index
+  // may lag behind recent inserts (it covers rows [0, built_upto()));
+  // readers must only probe row ranges within its coverage. Const: safe
+  // for concurrent readers of a frozen relation.
+  const ColumnIndex* GetIndex(uint32_t mask) const;
+
+  // Sorted textual dump, for tests and examples.
+  std::string ToSortedString(const SymbolTable& symbols) const;
+
+ private:
+  struct RowRef {
+    uint32_t id;
+  };
+  struct RowHash {
+    const std::vector<Tuple>* rows;
+    using is_transparent = void;
+    size_t operator()(RowRef r) const {
+      return static_cast<size_t>((*rows)[r.id].Hash());
+    }
+    size_t operator()(const Tuple& t) const {
+      return static_cast<size_t>(t.Hash());
+    }
+  };
+  struct RowEq {
+    const std::vector<Tuple>* rows;
+    using is_transparent = void;
+    bool operator()(RowRef a, RowRef b) const {
+      return (*rows)[a.id] == (*rows)[b.id];
+    }
+    bool operator()(RowRef a, const Tuple& b) const {
+      return (*rows)[a.id] == b;
+    }
+    bool operator()(const Tuple& a, RowRef b) const {
+      return a == (*rows)[b.id];
+    }
+  };
+
+  int arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<RowRef, RowHash, RowEq> dedup_{
+      16, RowHash{&rows_}, RowEq{&rows_}};
+  std::unordered_map<uint32_t, ColumnIndex> indexes_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_STORAGE_RELATION_H_

@@ -1,0 +1,69 @@
+#include "storage/snapshot.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "datalog/fact_io.h"
+
+namespace pdatalog {
+
+StatusOr<size_t> SaveDatabase(const Database& db, const SymbolTable& symbols,
+                              const std::string& directory) {
+  // POSIX mkdir (the style guide disallows <filesystem>); EEXIST is fine.
+  if (mkdir(directory.c_str(), 0755) != 0) {
+    struct stat st;
+    if (stat(directory.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+      return Status::Internal("cannot create directory '" + directory + "'");
+    }
+  }
+
+  size_t files = 0;
+  for (const auto& [pred, rel] : db.relations()) {
+    std::string path = directory + "/" + symbols.Name(pred) + ".tsv";
+    std::ofstream out(path);
+    if (!out) {
+      return Status::Internal("cannot write '" + path + "'");
+    }
+    std::vector<Tuple> rows = rel->rows();
+    std::sort(rows.begin(), rows.end());
+    for (const Tuple& t : rows) {
+      for (int c = 0; c < t.arity(); ++c) {
+        if (c > 0) out << '\t';
+        out << symbols.Name(t[c]);
+      }
+      out << '\n';
+    }
+    ++files;
+  }
+  return files;
+}
+
+StatusOr<size_t> LoadDatabase(const std::string& directory,
+                              SymbolTable* symbols, Database* db) {
+  DIR* dir = opendir(directory.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("cannot open directory '" + directory + "'");
+  }
+  std::vector<std::string> stems;
+  while (dirent* entry = readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tsv") {
+      stems.push_back(name.substr(0, name.size() - 4));
+    }
+  }
+  closedir(dir);
+  std::sort(stems.begin(), stems.end());  // deterministic intern order
+
+  for (const std::string& stem : stems) {
+    StatusOr<size_t> loaded = LoadFactsFromFile(
+        directory + "/" + stem + ".tsv", stem, symbols, db);
+    if (!loaded.ok()) return loaded.status();
+  }
+  return stems.size();
+}
+
+}  // namespace pdatalog

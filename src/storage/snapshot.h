@@ -1,0 +1,28 @@
+// Saving and loading databases as directories of TSV files (one file
+// per relation, named <predicate>.tsv). Pairs with datalog/fact_io.h:
+// saved relations reload with LoadFactsFromFile or the CLI's --facts.
+#ifndef PDATALOG_STORAGE_SNAPSHOT_H_
+#define PDATALOG_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "datalog/symbol_table.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Writes every relation of `db` to `directory` (created if missing) as
+// <name>.tsv with tab-separated constant names, rows sorted for
+// reproducible output. Returns the number of files written.
+StatusOr<size_t> SaveDatabase(const Database& db, const SymbolTable& symbols,
+                              const std::string& directory);
+
+// Loads every *.tsv file of `directory` into `db`, using the file stem
+// as the predicate name. Returns the number of relations loaded.
+StatusOr<size_t> LoadDatabase(const std::string& directory,
+                              SymbolTable* symbols, Database* db);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,58 @@
+#include "storage/tuple.h"
+
+#include <algorithm>
+
+namespace pdatalog {
+
+Tuple::Tuple(const Value* data, int n) : size_(static_cast<uint32_t>(n)) {
+  Value* dst = size_ <= kInline ? inline_ : (heap_ = new Value[size_]);
+  std::memcpy(dst, data, size_ * sizeof(Value));
+}
+
+Tuple::Tuple(Tuple&& other) noexcept : size_(other.size_) {
+  if (size_ <= kInline) {
+    std::memcpy(inline_, other.inline_, size_ * sizeof(Value));
+  } else {
+    heap_ = other.heap_;
+    other.size_ = 0;
+  }
+}
+
+Tuple& Tuple::operator=(const Tuple& other) {
+  if (this == &other) return *this;
+  DestroyHeap();
+  size_ = other.size_;
+  Value* dst = size_ <= kInline ? inline_ : (heap_ = new Value[size_]);
+  std::memcpy(dst, other.data(), size_ * sizeof(Value));
+  return *this;
+}
+
+Tuple& Tuple::operator=(Tuple&& other) noexcept {
+  if (this == &other) return *this;
+  DestroyHeap();
+  size_ = other.size_;
+  if (size_ <= kInline) {
+    std::memcpy(inline_, other.inline_, size_ * sizeof(Value));
+  } else {
+    heap_ = other.heap_;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+bool operator<(const Tuple& a, const Tuple& b) {
+  if (a.arity() != b.arity()) return a.arity() < b.arity();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+std::string Tuple::ToString(const SymbolTable& symbols) const {
+  std::string out = "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.Name((*this)[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,52 @@
+// Hashing and deterministic pseudo-randomness primitives.
+//
+// All hashing in the library funnels through these functions so that
+// discriminating functions, relation indexes, and tests agree on tuple
+// hashes and remain deterministic across runs and platforms.
+#ifndef PDATALOG_UTIL_HASH_H_
+#define PDATALOG_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace pdatalog {
+
+// SplitMix64 finalizer: a strong 64-bit mixing function.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of a running hash with one more value.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// Deterministic, seedable PRNG (SplitMix64 stream). Used by workload
+// generators and property tests; never by library semantics.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return Mix64(state_ - 0x9e3779b97f4a7c15ULL + state_);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_UTIL_HASH_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for benchmark harnesses.
+#ifndef PDATALOG_UTIL_STOPWATCH_H_
+#define PDATALOG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pdatalog {
+
+// Measures elapsed wall time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_UTIL_STOPWATCH_H_

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace pdatalog {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) *out += "  ";
+      // Right-align every cell; headers line up with numeric columns.
+      out->append(widths[c] - row[c].size(), ' ');
+      *out += row[c];
+    }
+    *out += '\n';
+  };
+
+  std::string out;
+  render_row(header_, &out);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) render_row(row, &out);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace pdatalog

@@ -1,0 +1,45 @@
+// Plain-text table rendering for benchmark and example output.
+//
+// Benches reproduce the paper's (qualitative) results as aligned console
+// tables; this class handles column sizing and alignment.
+#ifndef PDATALOG_UTIL_TABLE_H_
+#define PDATALOG_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdatalog {
+
+// Accumulates rows of string cells and renders them with right-aligned,
+// padded columns. Numeric convenience overloads format through
+// std::to_string / fixed precision.
+class TextTable {
+ public:
+  // `header` defines the column count; subsequent rows must match it.
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Cell-building helpers for mixed-type rows.
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(const char* s) { return s; }
+  static std::string Cell(int64_t v) { return std::to_string(v); }
+  static std::string Cell(uint64_t v) { return std::to_string(v); }
+  static std::string Cell(int v) { return std::to_string(v); }
+  static std::string Cell(double v, int precision = 3);
+
+  // Renders the table (header, separator, rows) as one string.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_UTIL_TABLE_H_

@@ -1,0 +1,110 @@
+#include "workload/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace pdatalog {
+
+namespace {
+
+Value Node(SymbolTable* symbols, int i) {
+  return symbols->Intern("n" + std::to_string(i));
+}
+
+size_t InsertEdge(Relation* rel, Value a, Value b) {
+  return rel->Insert(Tuple{a, b}) ? 1 : 0;
+}
+
+}  // namespace
+
+size_t GenChain(SymbolTable* symbols, Database* db,
+                const std::string& predicate, int length) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  size_t added = 0;
+  for (int i = 0; i < length; ++i) {
+    added += InsertEdge(&rel, Node(symbols, i), Node(symbols, i + 1));
+  }
+  return added;
+}
+
+size_t GenTree(SymbolTable* symbols, Database* db,
+               const std::string& predicate, int branching, int depth) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  size_t added = 0;
+  // Nodes are numbered level by level; node k's children are
+  // k*branching+1 .. k*branching+branching.
+  int level_start = 0;
+  int level_size = 1;
+  for (int d = 0; d < depth; ++d) {
+    for (int k = level_start; k < level_start + level_size; ++k) {
+      for (int c = 1; c <= branching; ++c) {
+        added += InsertEdge(&rel, Node(symbols, k),
+                            Node(symbols, k * branching + c));
+      }
+    }
+    level_start = level_start * branching + 1;
+    level_size *= branching;
+  }
+  return added;
+}
+
+size_t GenRandomGraph(SymbolTable* symbols, Database* db,
+                      const std::string& predicate, int num_nodes,
+                      int num_edges, uint64_t seed) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  SplitMix64 rng(seed);
+  size_t added = 0;
+  int attempts = 0;
+  while (added < static_cast<size_t>(num_edges) &&
+         attempts < num_edges * 20) {
+    ++attempts;
+    int a = static_cast<int>(rng.NextBelow(num_nodes));
+    int b = static_cast<int>(rng.NextBelow(num_nodes));
+    if (a == b) continue;
+    added += InsertEdge(&rel, Node(symbols, a), Node(symbols, b));
+  }
+  return added;
+}
+
+size_t GenCycle(SymbolTable* symbols, Database* db,
+                const std::string& predicate, int n) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  size_t added = 0;
+  for (int i = 0; i < n; ++i) {
+    added += InsertEdge(&rel, Node(symbols, i), Node(symbols, (i + 1) % n));
+  }
+  return added;
+}
+
+size_t GenGrid(SymbolTable* symbols, Database* db,
+               const std::string& predicate, int width, int height) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  auto id = [&](int x, int y) { return Node(symbols, y * width + x); };
+  size_t added = 0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) added += InsertEdge(&rel, id(x, y), id(x + 1, y));
+      if (y + 1 < height) added += InsertEdge(&rel, id(x, y), id(x, y + 1));
+    }
+  }
+  return added;
+}
+
+size_t GenFlat(SymbolTable* symbols, Database* db,
+               const std::string& predicate, int n, int num_parents,
+               uint64_t seed) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  SplitMix64 rng(seed);
+  size_t added = 0;
+  for (int i = 0; i < n; ++i) {
+    Value child = symbols->Intern("c" + std::to_string(i));
+    Value parent = symbols->Intern(
+        "p" + std::to_string(rng.NextBelow(num_parents)));
+    added += rel.Insert(Tuple{child, parent}) ? 1 : 0;
+  }
+  return added;
+}
+
+}  // namespace pdatalog

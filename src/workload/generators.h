@@ -1,0 +1,51 @@
+// Synthetic EDB generators for tests, examples and benches.
+//
+// All generators intern constants like "n17" into the given symbol
+// table and insert tuples into a relation of the given database, so the
+// data composes directly with parsed programs.
+#ifndef PDATALOG_WORKLOAD_GENERATORS_H_
+#define PDATALOG_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datalog/symbol_table.h"
+#include "storage/database.h"
+
+namespace pdatalog {
+
+// Binary-relation graph generators. Each returns the number of edges
+// inserted into `db[predicate]` (arity 2).
+
+// Path n0 -> n1 -> ... -> n_{length}. Worst case for parallel depth.
+size_t GenChain(SymbolTable* symbols, Database* db,
+                const std::string& predicate, int length);
+
+// Complete `branching`-ary tree of the given depth, edges parent->child.
+size_t GenTree(SymbolTable* symbols, Database* db,
+               const std::string& predicate, int branching, int depth);
+
+// Random digraph: `num_edges` distinct edges over `num_nodes` vertices
+// (no self-loops). Deterministic in `seed`.
+size_t GenRandomGraph(SymbolTable* symbols, Database* db,
+                      const std::string& predicate, int num_nodes,
+                      int num_edges, uint64_t seed);
+
+// Directed cycle over n vertices: closure is the complete relation.
+size_t GenCycle(SymbolTable* symbols, Database* db,
+                const std::string& predicate, int n);
+
+// 2-D grid, edges right and down. Many equal-length parallel paths.
+size_t GenGrid(SymbolTable* symbols, Database* db,
+               const std::string& predicate, int width, int height);
+
+// "flat" relation: arity-2 tuples (x, f(x)) pairing each of n children
+// with one of `num_parents` parents at random. With GenFlat twice one
+// gets classic same-generation inputs.
+size_t GenFlat(SymbolTable* symbols, Database* db,
+               const std::string& predicate, int n, int num_parents,
+               uint64_t seed);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,75 @@
+#include "workload/programs.h"
+
+namespace pdatalog {
+
+const std::vector<NamedProgram>& BuiltinPrograms() {
+  static const std::vector<NamedProgram>* const kPrograms =
+      new std::vector<NamedProgram>{
+          {"ancestor",
+           "transitive closure of par (the paper's running example)",
+           "anc(X, Y) :- par(X, Y).\n"
+           "anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+           true},
+          {"ancestor_nonlinear",
+           "non-linear ancestor (the paper's Example 8)",
+           "anc(X, Y) :- par(X, Y).\n"
+           "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n",
+           false},
+          {"same_generation",
+           "classic same-generation over up/flat/down",
+           "sg(X, Y) :- flat(X, Y).\n"
+           "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n",
+           true},
+          {"reachability",
+           "vertices reachable from the constant source 'n0'",
+           "reach(Y) :- edge(n0, Y).\n"
+           "reach(Y) :- reach(X), edge(X, Y).\n",
+           true},
+          {"example6",
+           "Section 5, Example 6: p(X,Y) :- p(Y,Z), r(X,Z)",
+           "p(X, Y) :- q(X, Y).\n"
+           "p(X, Y) :- p(Y, Z), r(X, Z).\n",
+           true},
+          {"example7",
+           "Section 5, Examples 4/7: p(U,V,W) :- p(V,W,Z), q(U,Z)",
+           "p(U, V, W) :- s(U, V, W).\n"
+           "p(U, V, W) :- p(V, W, Z), q(U, Z).\n",
+           true},
+          {"swap",
+           "argument-swapping sirup: 2-cycle dataflow graph",
+           "p(X, Y) :- base(X, Y).\n"
+           "p(X, Y) :- p(Y, X), base(X, Y).\n",
+           true},
+          {"even_odd",
+           "mutual recursion: parity of path length from marked starts",
+           "even(X) :- zero(X).\n"
+           "even(Y) :- odd(X), edge(X, Y).\n"
+           "odd(Y) :- even(X), edge(X, Y).\n",
+           false},
+          {"points_to",
+           "Andersen-style field-insensitive points-to analysis: "
+           "new(v,o), assign(v,w), load(v,p) for v = *p, store(p,w) for "
+           "*p = w",
+           "pt(V, O) :- new(V, O).\n"
+           "pt(V, O) :- assign(V, W), pt(W, O).\n"
+           "pt(V, O) :- load(V, P), pt(P, A), heap_pt(A, O).\n"
+           "heap_pt(A, O) :- store(P, W), pt(P, A), pt(W, O).\n",
+           false},
+      };
+  return *kPrograms;
+}
+
+StatusOr<NamedProgram> FindProgram(const std::string& name) {
+  for (const NamedProgram& program : BuiltinPrograms()) {
+    if (program.name == name) return program;
+  }
+  std::string known;
+  for (const NamedProgram& program : BuiltinPrograms()) {
+    if (!known.empty()) known += ", ";
+    known += program.name;
+  }
+  return Status::NotFound("no built-in program named '" + name +
+                          "'; known programs: " + known);
+}
+
+}  // namespace pdatalog

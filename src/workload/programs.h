@@ -1,0 +1,40 @@
+// A library of named canonical Datalog programs: the paper's running
+// examples plus classic recursive-query workloads. Used by benches,
+// examples, and tests; also a convenient starting point for users.
+#ifndef PDATALOG_WORKLOAD_PROGRAMS_H_
+#define PDATALOG_WORKLOAD_PROGRAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct NamedProgram {
+  std::string name;
+  std::string description;
+  std::string source;  // rules only, no facts
+  bool linear_sirup;   // canonical linear sirup per Section 2
+};
+
+// All built-in programs:
+//   ancestor            the paper's running example (linear)
+//   ancestor_nonlinear  Example 8 (non-linear)
+//   same_generation     classic up/flat/down same-generation (a linear
+//                       sirup: one recursive atom among three)
+//   reachability        single-source closure with a constant
+//   example6            Section 5, Example 6 (linear)
+//   example7            Section 5, Example 7 / Example 4 (linear)
+//   swap                p(X,Y) :- p(Y,X), ... (2-cycle dataflow graph)
+//   even_odd            mutual recursion
+//   points_to           Andersen-style inclusion points-to analysis
+const std::vector<NamedProgram>& BuiltinPrograms();
+
+// Returns the program with `name`, or NOT_FOUND listing valid names.
+StatusOr<NamedProgram> FindProgram(const std::string& name);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_WORKLOAD_PROGRAMS_H_

@@ -1,0 +1,242 @@
+#include "workload/random_program.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datalog/validate.h"
+#include "util/hash.h"
+
+namespace pdatalog {
+
+namespace {
+
+struct PredInfo {
+  Symbol sym;
+  int arity;
+};
+
+}  // namespace
+
+StatusOr<Program> GenerateRandomProgram(SymbolTable* symbols,
+                                        const RandomProgramOptions& options) {
+  SplitMix64 rng(options.seed);
+  Program program;
+  program.symbols = symbols;
+
+  auto arity = [&] {
+    return 1 + static_cast<int>(rng.NextBelow(options.max_arity));
+  };
+
+  std::string tag = std::to_string(options.seed);
+  std::vector<PredInfo> base;
+  for (int i = 0; i < options.num_base; ++i) {
+    base.push_back(
+        {symbols->Intern("b" + tag + "_" + std::to_string(i)), arity()});
+  }
+  Symbol dom = symbols->Intern("dom" + tag);
+  std::vector<PredInfo> derived;
+  for (int i = 0; i < options.num_derived; ++i) {
+    derived.push_back(
+        {symbols->Intern("d" + tag + "_" + std::to_string(i)), arity()});
+  }
+
+  std::vector<Symbol> constants;
+  for (int i = 0; i < options.num_constants; ++i) {
+    constants.push_back(symbols->Intern("k" + std::to_string(i)));
+  }
+  std::vector<Symbol> var_pool;
+  for (int i = 0; i < 6; ++i) {
+    var_pool.push_back(symbols->Intern("V" + std::to_string(i)));
+  }
+
+  // Rules. The first rule of each derived predicate uses only base (and
+  // previously declared derived) predicates so something is derivable;
+  // later rules may be recursive.
+  for (int d = 0; d < options.num_derived; ++d) {
+    for (int r = 0; r < options.rules_per_derived; ++r) {
+      Rule rule;
+      rule.head.predicate = derived[d].sym;
+      for (int c = 0; c < derived[d].arity; ++c) {
+        rule.head.args.push_back(
+            Term::Var(var_pool[rng.NextBelow(var_pool.size())]));
+      }
+
+      int body_atoms =
+          1 + static_cast<int>(rng.NextBelow(options.max_body_atoms));
+      for (int a = 0; a < body_atoms; ++a) {
+        // First rule of a predicate: only base atoms and strictly
+        // earlier derived predicates (keeps a derivable bottom layer).
+        bool allow_recursion = r > 0;
+        PredInfo pick;
+        uint64_t coin = rng.NextBelow(100);
+        if (allow_recursion && coin < 40) {
+          pick = derived[rng.NextBelow(derived.size())];
+        } else if (d > 0 && coin < 55) {
+          pick = derived[rng.NextBelow(d)];
+        } else {
+          pick = base[rng.NextBelow(base.size())];
+        }
+        Atom atom;
+        atom.predicate = pick.sym;
+        for (int c = 0; c < pick.arity; ++c) {
+          if (rng.NextBelow(100) < 15) {
+            atom.args.push_back(
+                Term::Const(constants[rng.NextBelow(constants.size())]));
+          } else {
+            atom.args.push_back(
+                Term::Var(var_pool[rng.NextBelow(var_pool.size())]));
+          }
+        }
+        rule.body.push_back(std::move(atom));
+      }
+
+      // Safety repair: bind head variables missing from the body with
+      // the universal domain predicate.
+      std::vector<Symbol> body_vars;
+      for (const Atom& atom : rule.body) CollectVariables(atom, &body_vars);
+      for (const Term& t : rule.head.args) {
+        if (!t.is_var()) continue;
+        if (std::find(body_vars.begin(), body_vars.end(), t.sym) ==
+            body_vars.end()) {
+          Atom atom;
+          atom.predicate = dom;
+          atom.args.push_back(Term::Var(t.sym));
+          rule.body.push_back(std::move(atom));
+          body_vars.push_back(t.sym);
+        }
+      }
+      program.rules.push_back(std::move(rule));
+    }
+  }
+
+  // Facts: random tuples per base predicate; dom covers every constant.
+  for (const PredInfo& pred : base) {
+    for (int f = 0; f < options.facts_per_base; ++f) {
+      Atom fact;
+      fact.predicate = pred.sym;
+      for (int c = 0; c < pred.arity; ++c) {
+        fact.args.push_back(
+            Term::Const(constants[rng.NextBelow(constants.size())]));
+      }
+      program.facts.push_back(std::move(fact));
+    }
+  }
+  for (Symbol k : constants) {
+    Atom fact;
+    fact.predicate = dom;
+    fact.args.push_back(Term::Const(k));
+    program.facts.push_back(std::move(fact));
+  }
+
+  // The construction guarantees validity; verify anyway.
+  ProgramInfo info;
+  PDATALOG_RETURN_IF_ERROR(Validate(program, &info));
+  return program;
+}
+
+StatusOr<Program> GenerateRandomSirup(SymbolTable* symbols,
+                                      const RandomSirupOptions& options) {
+  SplitMix64 rng(options.seed);
+  Program program;
+  program.symbols = symbols;
+
+  std::string tag = std::to_string(options.seed);
+  const int m = 1 + static_cast<int>(rng.NextBelow(options.max_arity));
+  Symbol t = symbols->Intern("t" + tag);
+  Symbol s = symbols->Intern("s" + tag);
+  Symbol dom = symbols->Intern("domv" + tag);
+
+  std::vector<Symbol> constants;
+  for (int i = 0; i < options.num_constants; ++i) {
+    constants.push_back(symbols->Intern("c" + std::to_string(i)));
+  }
+  std::vector<Symbol> var_pool;
+  for (int i = 0; i < m + 3; ++i) {
+    var_pool.push_back(symbols->Intern("V" + std::to_string(i)));
+  }
+  auto random_term = [&]() {
+    if (rng.NextDouble() < options.constant_probability) {
+      return Term::Const(constants[rng.NextBelow(constants.size())]);
+    }
+    return Term::Var(var_pool[rng.NextBelow(var_pool.size())]);
+  };
+
+  // Exit rule: t(Z0..Zm-1) :- s(Z0..Zm-1).
+  Rule exit;
+  exit.head.predicate = t;
+  Atom s_atom;
+  s_atom.predicate = s;
+  for (int c = 0; c < m; ++c) {
+    Term z = Term::Var(symbols->Intern("Z" + std::to_string(c)));
+    exit.head.args.push_back(z);
+    s_atom.args.push_back(z);
+  }
+  exit.body.push_back(s_atom);
+  program.rules.push_back(std::move(exit));
+
+  // Recursive rule.
+  Rule rec;
+  rec.head.predicate = t;
+  Atom t_atom;
+  t_atom.predicate = t;
+  for (int c = 0; c < m; ++c) rec.head.args.push_back(random_term());
+  for (int c = 0; c < m; ++c) t_atom.args.push_back(random_term());
+  rec.body.push_back(t_atom);
+  int num_base = 1 + static_cast<int>(rng.NextBelow(options.max_base_atoms));
+  std::vector<std::pair<Symbol, int>> base_preds;
+  for (int b = 0; b < num_base; ++b) {
+    int arity = 1 + static_cast<int>(rng.NextBelow(2));
+    Symbol pred =
+        symbols->Intern("b" + tag + "_" + std::to_string(b));
+    base_preds.emplace_back(pred, arity);
+    Atom atom;
+    atom.predicate = pred;
+    for (int c = 0; c < arity; ++c) atom.args.push_back(random_term());
+    rec.body.push_back(std::move(atom));
+  }
+  // Safety repair.
+  std::vector<Symbol> body_vars;
+  for (const Atom& atom : rec.body) CollectVariables(atom, &body_vars);
+  for (const Term& term : rec.head.args) {
+    if (!term.is_var()) continue;
+    if (std::find(body_vars.begin(), body_vars.end(), term.sym) ==
+        body_vars.end()) {
+      Atom atom;
+      atom.predicate = dom;
+      atom.args.push_back(Term::Var(term.sym));
+      rec.body.push_back(std::move(atom));
+      body_vars.push_back(term.sym);
+    }
+  }
+  program.rules.push_back(std::move(rec));
+
+  // Facts.
+  auto add_facts = [&](Symbol pred, int arity, int count) {
+    for (int f = 0; f < count; ++f) {
+      Atom fact;
+      fact.predicate = pred;
+      for (int c = 0; c < arity; ++c) {
+        fact.args.push_back(
+            Term::Const(constants[rng.NextBelow(constants.size())]));
+      }
+      program.facts.push_back(std::move(fact));
+    }
+  };
+  add_facts(s, m, options.facts_per_base);
+  for (const auto& [pred, arity] : base_preds) {
+    add_facts(pred, arity, options.facts_per_base);
+  }
+  for (Symbol k : constants) {
+    Atom fact;
+    fact.predicate = dom;
+    fact.args.push_back(Term::Const(k));
+    program.facts.push_back(std::move(fact));
+  }
+
+  ProgramInfo info;
+  PDATALOG_RETURN_IF_ERROR(Validate(program, &info));
+  return program;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,52 @@
+// Random safe Datalog program generation for differential testing: the
+// fuzz suites evaluate each generated program with the naive,
+// semi-naive and parallel engines and require identical least models.
+#ifndef PDATALOG_WORKLOAD_RANDOM_PROGRAM_H_
+#define PDATALOG_WORKLOAD_RANDOM_PROGRAM_H_
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct RandomProgramOptions {
+  uint64_t seed = 1;
+  int num_base = 3;      // base predicates (plus a unary domain predicate)
+  int num_derived = 2;
+  int max_arity = 3;     // arities drawn from [1, max_arity]
+  int rules_per_derived = 2;
+  int max_body_atoms = 3;
+  int num_constants = 8;   // bounds every relation by num_constants^arity
+  int facts_per_base = 15;
+};
+
+// Generates a validated program (rules + facts). Guarantees:
+//   * every rule is range-restricted (missing head variables are bound
+//     by appending dom(V) atoms over a universal domain predicate);
+//   * recursion is possible (derived predicates may appear in bodies)
+//     but every least model is finite and small (constants are few);
+//   * deterministic in `options.seed`.
+StatusOr<Program> GenerateRandomProgram(SymbolTable* symbols,
+                                        const RandomProgramOptions& options);
+
+struct RandomSirupOptions {
+  uint64_t seed = 1;
+  int max_arity = 3;       // t's arity drawn from [1, max_arity]
+  int max_base_atoms = 2;  // extra base atoms in the recursive rule
+  int num_constants = 6;
+  int facts_per_base = 12;
+  double constant_probability = 0.1;  // constants in rule arguments
+};
+
+// Generates a canonical linear sirup (Section 2):
+//   t(Z...) :- s(Z...).
+//   t(args) :- t(args'), b_1, ..., b_k [, dom(V) safety repairs].
+// Head and recursive-atom arguments mix shared variables, fresh
+// variables, repeats, and occasional constants, exercising every shape
+// the rewriters must handle. Facts for s, the b_m and dom are included.
+StatusOr<Program> GenerateRandomSirup(SymbolTable* symbols,
+                                      const RandomSirupOptions& options);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_WORKLOAD_RANDOM_PROGRAM_H_

@@ -1,0 +1,145 @@
+#include "datalog/analysis.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::ValidateOrDie;
+
+TEST(DependencyGraphTest, DirectAndTransitiveDerives) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "b(X) :- a(X).\n"
+      "c(X) :- b(X).\n",
+      &symbols);
+  DependencyGraph graph = DependencyGraph::Build(program);
+  Symbol a = symbols.Lookup("a");
+  Symbol b = symbols.Lookup("b");
+  Symbol c = symbols.Lookup("c");
+  EXPECT_TRUE(graph.Derives(a, b));
+  EXPECT_TRUE(graph.Derives(b, c));
+  EXPECT_TRUE(graph.Derives(a, c));  // transitive
+  EXPECT_FALSE(graph.Derives(c, a));
+}
+
+TEST(DependencyGraphTest, RecursiveRuleDetection) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(testing_util::kAncestorProgram, &symbols);
+  DependencyGraph graph = DependencyGraph::Build(program);
+  EXPECT_FALSE(graph.IsRecursiveRule(program.rules[0]));  // exit rule
+  EXPECT_TRUE(graph.IsRecursiveRule(program.rules[1]));
+  EXPECT_TRUE(graph.HasRecursion(program));
+}
+
+TEST(DependencyGraphTest, MutualRecursion) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "p(X) :- e(X).\n"
+      "p(X) :- q(X).\n"
+      "q(X) :- p(X), f(X).\n",
+      &symbols);
+  DependencyGraph graph = DependencyGraph::Build(program);
+  EXPECT_TRUE(graph.IsRecursiveRule(program.rules[1]));
+  EXPECT_TRUE(graph.IsRecursiveRule(program.rules[2]));
+  EXPECT_FALSE(graph.IsRecursiveRule(program.rules[0]));
+}
+
+TEST(DependencyGraphTest, NonRecursiveProgram) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("view(X, Y) :- base(X, Y).\n", &symbols);
+  DependencyGraph graph = DependencyGraph::Build(program);
+  EXPECT_FALSE(graph.HasRecursion(program));
+}
+
+TEST(LinearSirupTest, ExtractAncestor) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(testing_util::kAncestorProgram, &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(program, info);
+  ASSERT_TRUE(sirup.ok()) << sirup.status().ToString();
+  EXPECT_EQ(symbols.Name(sirup->t), "anc");
+  EXPECT_EQ(symbols.Name(sirup->s), "par");
+  EXPECT_EQ(sirup->arity(), 2);
+  EXPECT_EQ(sirup->rec_atom_index, 1);
+  ASSERT_EQ(sirup->base_atoms.size(), 1u);
+  EXPECT_EQ(ToString(sirup->base_atoms[0], symbols), "par(X, Z)");
+}
+
+TEST(LinearSirupTest, VariableSequences) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "p(U, V, W) :- s(U, V, W).\n"
+      "p(U, V, W) :- p(V, W, Z), q(U, Z).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(program, info);
+  ASSERT_TRUE(sirup.ok()) << sirup.status().ToString();
+
+  std::vector<Symbol> x = sirup->HeadVarsX();
+  std::vector<Symbol> y = sirup->BodyVarsY();
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_EQ(symbols.Name(x[0]), "U");
+  EXPECT_EQ(symbols.Name(y[0]), "V");
+  EXPECT_EQ(symbols.Name(y[2]), "Z");
+}
+
+TEST(LinearSirupTest, NonLinearRejected) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(program, info);
+  EXPECT_FALSE(sirup.ok());
+  EXPECT_NE(sirup.status().message().find("exactly one occurrence"),
+            std::string::npos);
+}
+
+TEST(LinearSirupTest, TwoDerivedPredicatesRejected) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "p(X) :- e(X).\n"
+      "q(X) :- p(X).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  EXPECT_FALSE(ExtractLinearSirup(program, info).ok());
+}
+
+TEST(LinearSirupTest, ThreeRulesRejected) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "p(X) :- e(X).\n"
+      "p(X) :- f(X).\n"
+      "p(X) :- p(Y), g(Y, X).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  EXPECT_FALSE(ExtractLinearSirup(program, info).ok());
+}
+
+TEST(LinearSirupTest, ConstantInHeadGivesInvalidVarEntry) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "p(X, Y) :- s(X, Y).\n"
+      "p(X, c) :- p(X, Y), q(Y).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(program, info);
+  ASSERT_TRUE(sirup.ok()) << sirup.status().ToString();
+  std::vector<Symbol> x = sirup->HeadVarsX();
+  EXPECT_EQ(x[1], kInvalidSymbol);
+}
+
+TEST(RecursiveAtomTest, ByProgramInfo) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(testing_util::kAncestorProgram, &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  EXPECT_FALSE(IsRecursiveAtom(program.rules[1].body[0], info));  // par
+  EXPECT_TRUE(IsRecursiveAtom(program.rules[1].body[1], info));   // anc
+}
+
+}  // namespace
+}  // namespace pdatalog

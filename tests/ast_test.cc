@@ -1,0 +1,125 @@
+#include "datalog/ast.h"
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+TEST(TermTest, MakeTermClassifiesByCase) {
+  SymbolTable symbols;
+  EXPECT_TRUE(MakeTerm(symbols, "X").is_var());
+  EXPECT_TRUE(MakeTerm(symbols, "Foo").is_var());
+  EXPECT_TRUE(MakeTerm(symbols, "_tmp").is_var());
+  EXPECT_TRUE(MakeTerm(symbols, "alice").is_const());
+  EXPECT_TRUE(MakeTerm(symbols, "42").is_const());
+}
+
+TEST(AtomTest, MakeAtomAndPrint) {
+  SymbolTable symbols;
+  Atom atom = MakeAtom(symbols, "par", {"X", "bob"});
+  EXPECT_EQ(atom.arity(), 2);
+  EXPECT_FALSE(atom.IsGround());
+  EXPECT_EQ(ToString(atom, symbols), "par(X, bob)");
+}
+
+TEST(AtomTest, GroundAtom) {
+  SymbolTable symbols;
+  Atom atom = MakeAtom(symbols, "par", {"alice", "bob"});
+  EXPECT_TRUE(atom.IsGround());
+}
+
+TEST(AtomTest, ZeroArity) {
+  SymbolTable symbols;
+  Atom atom = MakeAtom(symbols, "flag", {});
+  EXPECT_EQ(atom.arity(), 0);
+  EXPECT_TRUE(atom.IsGround());
+  EXPECT_EQ(ToString(atom, symbols), "flag()");
+}
+
+TEST(RuleTest, VariablesInFirstOccurrenceOrder) {
+  SymbolTable symbols;
+  Rule rule;
+  rule.head = MakeAtom(symbols, "anc", {"X", "Y"});
+  rule.body = {MakeAtom(symbols, "par", {"X", "Z"}),
+               MakeAtom(symbols, "anc", {"Z", "Y"})};
+  std::vector<Symbol> vars = rule.Variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(symbols.Name(vars[0]), "X");
+  EXPECT_EQ(symbols.Name(vars[1]), "Y");
+  EXPECT_EQ(symbols.Name(vars[2]), "Z");
+}
+
+TEST(RuleTest, RangeRestriction) {
+  SymbolTable symbols;
+  Rule safe;
+  safe.head = MakeAtom(symbols, "p", {"X"});
+  safe.body = {MakeAtom(symbols, "q", {"X", "Y"})};
+  EXPECT_TRUE(safe.IsRangeRestricted());
+
+  Rule unsafe;
+  unsafe.head = MakeAtom(symbols, "p", {"W"});
+  unsafe.body = {MakeAtom(symbols, "q", {"X", "Y"})};
+  EXPECT_FALSE(unsafe.IsRangeRestricted());
+}
+
+TEST(RuleTest, ConstantHeadIsRangeRestricted) {
+  SymbolTable symbols;
+  Rule rule;
+  rule.head = MakeAtom(symbols, "p", {"c"});
+  rule.body = {MakeAtom(symbols, "q", {"X"})};
+  EXPECT_TRUE(rule.IsRangeRestricted());
+}
+
+TEST(RuleTest, PrintFactAndRule) {
+  SymbolTable symbols;
+  Rule fact;
+  fact.head = MakeAtom(symbols, "par", {"a", "b"});
+  EXPECT_EQ(ToString(fact, symbols), "par(a, b).");
+
+  Rule rule;
+  rule.head = MakeAtom(symbols, "anc", {"X", "Y"});
+  rule.body = {MakeAtom(symbols, "par", {"X", "Z"}),
+               MakeAtom(symbols, "anc", {"Z", "Y"})};
+  EXPECT_EQ(ToString(rule, symbols), "anc(X, Y) :- par(X, Z), anc(Z, Y).");
+}
+
+TEST(RuleTest, PrintWithHashConstraint) {
+  SymbolTable symbols;
+  Rule rule;
+  rule.head = MakeAtom(symbols, "anc_out", {"X", "Y"});
+  rule.body = {MakeAtom(symbols, "par", {"X", "Z"}),
+               MakeAtom(symbols, "anc_in", {"Z", "Y"})};
+  HashConstraint c;
+  c.function = 0;
+  c.label = symbols.Intern("h");
+  c.vars = {symbols.Intern("Z")};
+  c.target = 3;
+  rule.constraints.push_back(c);
+  EXPECT_EQ(ToString(rule, symbols),
+            "anc_out(X, Y) :- par(X, Z), anc_in(Z, Y), h(Z) = 3.");
+}
+
+TEST(ProgramTest, PrintWholeProgram) {
+  SymbolTable symbols;
+  Program program;
+  program.symbols = &symbols;
+  Rule rule;
+  rule.head = MakeAtom(symbols, "anc", {"X", "Y"});
+  rule.body = {MakeAtom(symbols, "par", {"X", "Y"})};
+  program.rules.push_back(rule);
+  program.facts.push_back(MakeAtom(symbols, "par", {"a", "b"}));
+  EXPECT_EQ(ToString(program), "anc(X, Y) :- par(X, Y).\npar(a, b).\n");
+}
+
+TEST(CollectVariablesTest, DeduplicatesAcrossCalls) {
+  SymbolTable symbols;
+  Atom a1 = MakeAtom(symbols, "p", {"X", "Y"});
+  Atom a2 = MakeAtom(symbols, "q", {"Y", "Z"});
+  std::vector<Symbol> vars;
+  CollectVariables(a1, &vars);
+  CollectVariables(a2, &vars);
+  EXPECT_EQ(vars.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pdatalog

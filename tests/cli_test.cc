@@ -1,0 +1,335 @@
+#include "cli/driver.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+constexpr char kAncestor[] =
+    "par(a, b).  par(b, c).  par(c, d).\n"
+    "anc(X, Y) :- par(X, Y).\n"
+    "anc(X, Y) :- par(X, Z), anc(Z, Y).\n";
+
+TEST(CliParseTest, Defaults) {
+  StatusOr<CliOptions> options = ParseCliArgs({"prog.dl"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->mode, CliOptions::Mode::kParallel);
+  EXPECT_EQ(options->scheme, CliOptions::Scheme::kAuto);
+  EXPECT_EQ(options->processors, 4);
+  EXPECT_EQ(options->program_path, "prog.dl");
+}
+
+TEST(CliParseTest, AllFlags) {
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--mode=seq", "--processors=7", "--scheme=example2", "--rho=0.25",
+       "--seed=0x10", "--dump=anc", "--print-programs", "--stats", "p.dl"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->mode, CliOptions::Mode::kSequential);
+  EXPECT_EQ(options->processors, 7);
+  EXPECT_EQ(options->scheme, CliOptions::Scheme::kExample2);
+  EXPECT_DOUBLE_EQ(options->rho, 0.25);
+  EXPECT_EQ(options->seed, 0x10u);
+  EXPECT_EQ(options->dump_predicate, "anc");
+  EXPECT_TRUE(options->print_programs);
+  EXPECT_TRUE(options->print_stats);
+}
+
+TEST(CliParseTest, Rejections) {
+  EXPECT_FALSE(ParseCliArgs({}).ok());                      // no file
+  EXPECT_FALSE(ParseCliArgs({"--mode=warp", "p.dl"}).ok()); // bad mode
+  EXPECT_FALSE(ParseCliArgs({"--processors=0", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--scheme=magic", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--rho=1.5", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--nonsense", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"a.dl", "b.dl"}).ok());  // two files
+}
+
+TEST(CliRunTest, SequentialReport) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--mode=seq", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("sequential semi-naive"), std::string::npos);
+  EXPECT_NE(report->find("anc: 6 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, NaiveReport) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--mode=naive", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("sequential naive"), std::string::npos);
+  EXPECT_NE(report->find("anc: 6 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, AutoPicksTheoremThreeForAncestor) {
+  StatusOr<CliOptions> options = ParseCliArgs({"p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("Theorem 3"), std::string::npos);
+  EXPECT_NE(report->find("cross messages: 0"), std::string::npos);
+  EXPECT_NE(report->find("anc: 6 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, AutoFallsBackToGeneralForNonLinear) {
+  StatusOr<CliOptions> options = ParseCliArgs({"p.dl"});
+  ASSERT_TRUE(options.ok());
+  const char* source =
+      "par(a, b).  par(b, c).\n"
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n";
+  StatusOr<std::string> report = RunCli(*options, source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("general scheme"), std::string::npos);
+  EXPECT_NE(report->find("anc: 3 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, DumpPredicate) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--dump=anc", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("(a, d)"), std::string::npos);
+}
+
+TEST(CliRunTest, DumpUnknownPredicate) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--dump=ghost", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("no such relation"), std::string::npos);
+}
+
+TEST(CliRunTest, PrintProgramsShowsConstraints) {
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--scheme=example3", "--processors=2", "--print-programs", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("-- processor 1 --"), std::string::npos);
+  EXPECT_NE(report->find("anc_in"), std::string::npos);
+  EXPECT_NE(report->find("= 1."), std::string::npos);
+}
+
+TEST(CliRunTest, TradeoffSchemeRuns) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--scheme=tradeoff", "--rho=1.0", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("cross messages: 0"), std::string::npos);
+}
+
+TEST(CliRunTest, Example2SchemeRuns) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--scheme=example2", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("anc: 6 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, ParseErrorPropagates) {
+  StatusOr<CliOptions> options = ParseCliArgs({"p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, "anc(X :-");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CliRunTest, UnsafeProgramRejected) {
+  StatusOr<CliOptions> options = ParseCliArgs({"p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, "p(X, Y) :- q(X).\n");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CliRunTest, StatsTableShown) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--stats", "--processors=2", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("proc"), std::string::npos);
+  EXPECT_NE(report->find("rounds"), std::string::npos);
+}
+
+TEST(CliParseTest, BuiltinProgramFlag) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--program=ancestor"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->builtin, "ancestor");
+  EXPECT_TRUE(options->program_path.empty());
+}
+
+TEST(CliParseTest, FileAndBuiltinConflict) {
+  EXPECT_FALSE(ParseCliArgs({"--program=ancestor", "p.dl"}).ok());
+}
+
+TEST(CliParseTest, FactsFlag) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--facts=edge:/tmp/e.tsv", "--facts=w:x.tsv", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  ASSERT_EQ(options->fact_files.size(), 2u);
+  EXPECT_EQ(options->fact_files[0].first, "edge");
+  EXPECT_EQ(options->fact_files[0].second, "/tmp/e.tsv");
+  EXPECT_FALSE(ParseCliArgs({"--facts=broken", "p.dl"}).ok());
+}
+
+TEST(CliRunTest, BuiltinProgramWithInlineFacts) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--program=ancestor", "--mode=seq"});
+  ASSERT_TRUE(options.ok());
+  // Extra source (facts) is appended after the built-in rules.
+  StatusOr<std::string> report =
+      RunCli(*options, "par(a, b).\npar(b, c).\n");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("anc: 3 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownBuiltinFails) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--program=zzz"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, "");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CliRunTest, MissingFactFileFails) {
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--program=ancestor", "--facts=par:/nonexistent/x.tsv"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, "");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CliRunTest, ExplainPrintsPlans) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--explain", "--program=ancestor"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, "");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("probe par(X, Z)"), std::string::npos) << *report;
+  EXPECT_NE(report->find("delta on body atom 1"), std::string::npos);
+}
+
+TEST(CliRunTest, StratifiedSequentialMode) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--mode=seq", "--stratified", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("(stratified)"), std::string::npos);
+  EXPECT_NE(report->find("anc: 6 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, AdviseRanking) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--advise", "--net=8", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("advice:"), std::string::npos);
+  EXPECT_NE(report->find("theorem3"), std::string::npos);
+}
+
+TEST(CliRunTest, AdviseRejectsNonLinear) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--advise", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(
+      *options,
+      "anc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).\n");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CliInteractiveTest, QueryLoopAnswersAndQuits) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--interactive", "--mode=seq", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->interactive);
+  std::istringstream in("anc(a, X)\nanc(zzz, W)\n\n");
+  std::ostringstream out;
+  Status status = RunInteractive(*options, kAncestor, in, out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::string text = out.str();
+  EXPECT_NE(text.find("X = d"), std::string::npos) << text;
+  // Unknown constant: no bindings, loop continues to next prompt.
+  EXPECT_GE(std::count(text.begin(), text.end(), '?'), 3);
+}
+
+TEST(CliInteractiveTest, MalformedQueryKeepsLooping) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--interactive", "--mode=seq", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  std::istringstream in("anc(a,\nanc(a, X)\n");
+  std::ostringstream out;
+  ASSERT_TRUE(RunInteractive(*options, kAncestor, in, out).ok());
+  EXPECT_NE(out.str().find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(out.str().find("X = b"), std::string::npos);
+}
+
+TEST(CliInteractiveTest, EofEndsLoop) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--interactive", "--mode=seq", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  std::istringstream in("");
+  std::ostringstream out;
+  EXPECT_TRUE(RunInteractive(*options, kAncestor, in, out).ok());
+}
+
+TEST(CliRunTest, ListPrograms) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--list-programs"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  StatusOr<std::string> report = RunCli(*options, "");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("ancestor"), std::string::npos);
+  EXPECT_NE(report->find("points_to"), std::string::npos);
+  EXPECT_NE(report->find("[linear sirup]"), std::string::npos);
+}
+
+TEST(CliParseTest, VarsFlag) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--vars=0:Y,1:Z", "p.dl"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  ASSERT_EQ(options->rule_vars.size(), 2u);
+  EXPECT_EQ(options->rule_vars[0].first, 0);
+  EXPECT_EQ(options->rule_vars[0].second, "Y");
+  EXPECT_EQ(options->rule_vars[1].second, "Z");
+  EXPECT_FALSE(ParseCliArgs({"--vars=broken", "p.dl"}).ok());
+}
+
+TEST(CliRunTest, VarsOverrideGeneralScheme) {
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--scheme=general", "--vars=1:Z", "--print-programs",
+       "--processors=2", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  const char* source =
+      "par(a, b).\n"
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n";
+  StatusOr<std::string> report = RunCli(*options, source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("h2(Z) = 0"), std::string::npos) << *report;
+}
+
+TEST(CliRunTest, EmbeddedQueriesAnswered) {
+  StatusOr<CliOptions> options = ParseCliArgs({"--mode=seq", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  std::string source = std::string(kAncestor) + "?- anc(a, X).\n";
+  StatusOr<std::string> report = RunCli(*options, source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("?- anc(a, X)"), std::string::npos);
+  EXPECT_NE(report->find("X = d"), std::string::npos);
+}
+
+TEST(CliRunTest, EmbeddedQueriesAnsweredInParallelMode) {
+  StatusOr<CliOptions> options = ParseCliArgs({"p.dl"});
+  ASSERT_TRUE(options.ok());
+  std::string source = std::string(kAncestor) + "?- anc(b, d).\n";
+  StatusOr<std::string> report = RunCli(*options, source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdatalog

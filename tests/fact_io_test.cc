@@ -1,0 +1,121 @@
+#include "datalog/fact_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+TEST(FactIoTest, TabSeparated) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadFactsFromString("a\tb\nb\tc\n", "edge", &symbols, &db);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  const Relation* rel = db.Find(symbols.Lookup("edge"));
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->arity(), 2);
+  EXPECT_TRUE(rel->Contains(
+      Tuple{symbols.Lookup("a"), symbols.Lookup("b")}));
+}
+
+TEST(FactIoTest, CommaAndSpaceSeparators) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadFactsFromString("x, y\n  p   q \n", "r", &symbols, &db);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST(FactIoTest, CommentsAndBlanksSkipped) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n = LoadFactsFromString(
+      "% comment\n# another\n\n  \na b\n", "r", &symbols, &db);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(FactIoTest, DuplicatesCollapse) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadFactsFromString("a b\na b\na c\n", "r", &symbols, &db);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST(FactIoTest, InconsistentArityRejected) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadFactsFromString("a b\na b c\n", "r", &symbols, &db);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(FactIoTest, ArityCheckedAgainstExistingRelation) {
+  SymbolTable symbols;
+  Database db;
+  db.GetOrCreate(symbols.Intern("r"), 3);
+  StatusOr<size_t> n = LoadFactsFromString("a b\n", "r", &symbols, &db);
+  EXPECT_FALSE(n.ok());
+}
+
+TEST(FactIoTest, EmptyContentIsFine) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n = LoadFactsFromString("", "r", &symbols, &db);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(FactIoTest, MissingTrailingNewline) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n = LoadFactsFromString("a b", "r", &symbols, &db);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(FactIoTest, WindowsLineEndings) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadFactsFromString("a\tb\r\nc\td\r\n", "r", &symbols, &db);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_TRUE(db.Find(symbols.Lookup("r"))
+                  ->Contains(Tuple{symbols.Lookup("c"),
+                                   symbols.Lookup("d")}));
+}
+
+TEST(FactIoTest, LoadFromFile) {
+  const char* path = "/tmp/pdatalog_fact_io_test.tsv";
+  {
+    std::ofstream out(path);
+    out << "n0\tn1\nn1\tn2\n";
+  }
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n = LoadFactsFromFile(path, "edge", &symbols, &db);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  std::remove(path);
+}
+
+TEST(FactIoTest, MissingFileReportsNotFound) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadFactsFromFile("/nonexistent/nope.tsv", "edge", &symbols, &db);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,131 @@
+// Differential fuzzing: random safe programs evaluated by the naive,
+// semi-naive and parallel (Section 7) engines must agree on every
+// derived relation, and the theorems' work bounds must hold.
+#include "eval/naive.h"
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/random_program.h"
+
+namespace pdatalog {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// Picks one variable per rule for the general-scheme discriminating
+// sequence: the first variable of the body.
+std::vector<GeneralRuleSpec> PickSpecs(const Program& program, int P,
+                                       uint64_t seed) {
+  std::vector<GeneralRuleSpec> specs(program.rules.size());
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    std::vector<Symbol> body_vars;
+    for (const Atom& atom : program.rules[r].body) {
+      CollectVariables(atom, &body_vars);
+    }
+    if (!body_vars.empty()) {
+      specs[r].vars = {body_vars[seed % body_vars.size()]};
+    }
+    specs[r].h = DiscriminatingFunction::UniformHash(P, seed);
+  }
+  return specs;
+}
+
+std::string DumpDerived(const Database& db, const ProgramInfo& info,
+                        const SymbolTable& symbols) {
+  std::vector<Symbol> preds(info.derived.begin(), info.derived.end());
+  std::sort(preds.begin(), preds.end());
+  std::string out;
+  for (Symbol p : preds) {
+    out += symbols.Name(p) + ":\n";
+    const Relation* rel = db.Find(p);
+    if (rel != nullptr) out += rel->ToSortedString(symbols);
+  }
+  return out;
+}
+
+TEST_P(FuzzTest, EnginesAgreeOnRandomPrograms) {
+  uint64_t seed = GetParam();
+  SymbolTable symbols;
+  RandomProgramOptions options;
+  options.seed = seed;
+  StatusOr<Program> program = GenerateRandomProgram(&symbols, options);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ProgramInfo info;
+  ASSERT_TRUE(Validate(*program, &info).ok());
+
+  // Semi-naive.
+  Database semi_db;
+  ASSERT_TRUE(semi_db.LoadFacts(*program).ok());
+  EvalStats semi;
+  ASSERT_TRUE(SemiNaiveEvaluate(*program, info, &semi_db, &semi).ok());
+
+  // Naive.
+  Database naive_db;
+  ASSERT_TRUE(naive_db.LoadFacts(*program).ok());
+  EvalStats naive;
+  ASSERT_TRUE(NaiveEvaluate(*program, info, &naive_db, &naive).ok());
+
+  std::string semi_dump = DumpDerived(semi_db, info, symbols);
+  EXPECT_EQ(semi_dump, DumpDerived(naive_db, info, symbols))
+      << "seed " << seed;
+  EXPECT_LE(semi.firings, naive.firings) << "seed " << seed;
+
+  // Parallel, general scheme, both scheduling modes.
+  StatusOr<RewriteBundle> bundle =
+      RewriteGeneral(*program, info, 3, PickSpecs(*program, 3, seed));
+  ASSERT_TRUE(bundle.ok()) << "seed " << seed << ": "
+                           << bundle.status().ToString();
+  for (bool threads : {false, true}) {
+    Database edb;
+    ASSERT_TRUE(edb.LoadFacts(*program).ok());
+    ParallelOptions popts;
+    popts.use_threads = threads;
+    StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, popts);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(DumpDerived(result->output, info, symbols), semi_dump)
+        << "seed " << seed << " threads=" << threads;
+    EXPECT_LE(result->total_firings, semi.firings)
+        << "seed " << seed << " threads=" << threads;
+  }
+}
+
+TEST(FuzzStructureTest, GeneratedProgramsAreDeterministic) {
+  SymbolTable s1, s2;
+  RandomProgramOptions options;
+  options.seed = 9;
+  StatusOr<Program> p1 = GenerateRandomProgram(&s1, options);
+  StatusOr<Program> p2 = GenerateRandomProgram(&s2, options);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(ToString(*p1), ToString(*p2));
+}
+
+TEST(FuzzStructureTest, SeedsDiffer) {
+  SymbolTable s1, s2;
+  RandomProgramOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  StatusOr<Program> p1 = GenerateRandomProgram(&s1, o1);
+  StatusOr<Program> p2 = GenerateRandomProgram(&s2, o2);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_NE(ToString(*p1), ToString(*p2));
+}
+
+TEST(FuzzStructureTest, RespectsShapeOptions) {
+  SymbolTable symbols;
+  RandomProgramOptions options;
+  options.seed = 3;
+  options.num_derived = 4;
+  options.rules_per_derived = 3;
+  StatusOr<Program> program = GenerateRandomProgram(&symbols, options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules.size(), 12u);
+  ProgramInfo info;
+  ASSERT_TRUE(Validate(*program, &info).ok());
+  EXPECT_EQ(info.derived.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pdatalog

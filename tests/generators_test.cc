@@ -1,0 +1,76 @@
+#include "workload/generators.h"
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+TEST(GeneratorsTest, ChainEdgeCount) {
+  SymbolTable symbols;
+  Database db;
+  EXPECT_EQ(GenChain(&symbols, &db, "par", 10), 10u);
+  EXPECT_EQ(db.Find(symbols.Lookup("par"))->size(), 10u);
+}
+
+TEST(GeneratorsTest, TreeEdgeCount) {
+  SymbolTable symbols;
+  Database db;
+  // Binary tree of depth 3: 2 + 4 + 8 = 14 edges.
+  EXPECT_EQ(GenTree(&symbols, &db, "par", 2, 3), 14u);
+}
+
+TEST(GeneratorsTest, RandomGraphDeterministicInSeed) {
+  SymbolTable s1, s2;
+  Database d1, d2;
+  GenRandomGraph(&s1, &d1, "e", 20, 40, 7);
+  GenRandomGraph(&s2, &d2, "e", 20, 40, 7);
+  EXPECT_EQ(d1.Find(s1.Lookup("e"))->ToSortedString(s1),
+            d2.Find(s2.Lookup("e"))->ToSortedString(s2));
+}
+
+TEST(GeneratorsTest, RandomGraphDiffersAcrossSeeds) {
+  SymbolTable s1, s2;
+  Database d1, d2;
+  GenRandomGraph(&s1, &d1, "e", 20, 40, 7);
+  GenRandomGraph(&s2, &d2, "e", 20, 40, 8);
+  EXPECT_NE(d1.Find(s1.Lookup("e"))->ToSortedString(s1),
+            d2.Find(s2.Lookup("e"))->ToSortedString(s2));
+}
+
+TEST(GeneratorsTest, RandomGraphNoSelfLoops) {
+  SymbolTable symbols;
+  Database db;
+  GenRandomGraph(&symbols, &db, "e", 10, 30, 3);
+  const Relation* rel = db.Find(symbols.Lookup("e"));
+  for (size_t i = 0; i < rel->size(); ++i) {
+    EXPECT_NE(rel->row(i)[0], rel->row(i)[1]);
+  }
+}
+
+TEST(GeneratorsTest, CycleWrapsAround) {
+  SymbolTable symbols;
+  Database db;
+  EXPECT_EQ(GenCycle(&symbols, &db, "e", 5), 5u);
+  const Relation* rel = db.Find(symbols.Lookup("e"));
+  EXPECT_TRUE(rel->Contains(
+      Tuple{symbols.Lookup("n4"), symbols.Lookup("n0")}));
+}
+
+TEST(GeneratorsTest, GridEdgeCount) {
+  SymbolTable symbols;
+  Database db;
+  // 3x3 grid: 2*3 horizontal + 3*2 vertical = 12.
+  EXPECT_EQ(GenGrid(&symbols, &db, "e", 3, 3), 12u);
+}
+
+TEST(GeneratorsTest, FlatAssignsParents) {
+  SymbolTable symbols;
+  Database db;
+  size_t n = GenFlat(&symbols, &db, "par", 50, 5, 11);
+  EXPECT_EQ(n, 50u);
+  const Relation* rel = db.Find(symbols.Lookup("par"));
+  EXPECT_EQ(rel->size(), 50u);
+}
+
+}  // namespace
+}  // namespace pdatalog

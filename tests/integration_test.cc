@@ -1,0 +1,162 @@
+// End-to-end scenarios across modules: text program -> parse ->
+// analyze -> rewrite -> parallel run -> pooled output, at a scale that
+// exercises many rounds and real thread interleavings.
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/generators.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::AncestorScheme;
+using testing_util::DumpOutput;
+using testing_util::MakeAncestorBundle;
+using testing_util::MakeAncestorSetup;
+using testing_util::SequentialAncestor;
+
+TEST(IntegrationTest, LargeChainManyRounds) {
+  // A 300-edge chain forces ~300 asynchronous rounds through the
+  // channels — a stress test for termination detection.
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 300);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->pooled_tuples, 300u * 301u / 2u);
+}
+
+TEST(IntegrationTest, DenseGraphLargeClosure) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 120, 360, 99);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 8);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected);
+}
+
+TEST(IntegrationTest, ManyProcessorsMoreThanWork) {
+  // More processors than tuples: most workers stay idle, termination
+  // must still fire.
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 3);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 16);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pooled_tuples, 6u);
+}
+
+TEST(IntegrationTest, RepeatedRunsIndependent) {
+  // Bundles and engines carry no hidden global state: running two
+  // different schemes back to back gives self-consistent results.
+  auto setup = MakeAncestorSetup();
+  GenTree(&setup->symbols, &setup->edb, "par", 2, 7);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+  for (int round = 0; round < 2; ++round) {
+    for (AncestorScheme scheme :
+         {AncestorScheme::kExample1, AncestorScheme::kExample3}) {
+      RewriteBundle bundle = MakeAncestorBundle(setup.get(), scheme, 4);
+      StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()),
+                expected);
+    }
+  }
+}
+
+TEST(IntegrationTest, SameGenerationEndToEndFromText) {
+  SymbolTable symbols;
+  const char* source =
+      "% same generation over a small family tree\n"
+      "up(c1, p1).  up(c2, p1).  up(c3, p2).\n"
+      "up(g1, c1).  up(g2, c2).  up(g3, c3).\n"
+      "flat(p1, p2).\n"
+      "down(p1, c1). down(p1, c2). down(p2, c3).\n"
+      "down(c1, g1). down(c2, g2). down(c3, g3).\n"
+      "sg(X, Y) :- flat(X, Y).\n"
+      "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n";
+  Program program = testing_util::ParseOrDie(source, &symbols);
+  ProgramInfo info = testing_util::ValidateOrDie(program);
+
+  Database seq_db;
+  ASSERT_TRUE(seq_db.LoadFacts(program).ok());
+  EvalStats stats;
+  ASSERT_TRUE(SemiNaiveEvaluate(program, info, &seq_db, &stats).ok());
+
+  std::vector<GeneralRuleSpec> specs(2);
+  specs[0].vars = {symbols.Intern("Y")};
+  specs[0].h = DiscriminatingFunction::UniformHash(3);
+  specs[1].vars = {symbols.Intern("V")};
+  specs[1].h = DiscriminatingFunction::UniformHash(3);
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 3, specs);
+  ASSERT_TRUE(bundle.ok());
+
+  Database edb;
+  ASSERT_TRUE(edb.LoadFacts(program).ok());
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::string expected =
+      seq_db.Find(symbols.Lookup("sg"))->ToSortedString(symbols);
+  EXPECT_EQ(
+      result->output.Find(symbols.Lookup("sg"))->ToSortedString(symbols),
+      expected);
+  // sg(c1, c3) should hold (same generation via p1 -- p2).
+  EXPECT_NE(expected.find("(c1, c3)"), std::string::npos);
+}
+
+TEST(IntegrationTest, PrintedLocalProgramsMatchPaperShape) {
+  // The whole Q_i program for the ancestor Example 3 rewrite, printed.
+  auto setup = MakeAncestorSetup();
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 2);
+  EXPECT_EQ(ToString(bundle.per_processor[0]),
+            "anc_out(X, Y) :- par(X, Y), h'(X) = 0.\n"
+            "anc_out(X, Y) :- par(X, Z), anc_in(Z, Y), h(Z) = 0.\n");
+  EXPECT_EQ(ToString(bundle.per_processor[1]),
+            "anc_out(X, Y) :- par(X, Y), h'(X) = 1.\n"
+            "anc_out(X, Y) :- par(X, Z), anc_in(Z, Y), h(Z) = 1.\n");
+}
+
+TEST(IntegrationTest, WorkDistributesAcrossProcessors) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 100, 260, 77);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  ASSERT_TRUE(result.ok());
+  // Hash partitioning should give every worker a nontrivial share.
+  for (const WorkerStats& w : result->workers) {
+    EXPECT_GT(w.firings, result->total_firings / 20);
+  }
+}
+
+TEST(IntegrationTest, ZeroArityPredicateParallel) {
+  SymbolTable symbols;
+  const char* source =
+      "go.\n"
+      "step(n0, n1). step(n1, n2).\n"
+      "reach(X, Y) :- step(X, Y), go.\n"
+      "reach(X, Y) :- step(X, Z), reach(Z, Y).\n";
+  Program program = testing_util::ParseOrDie(source, &symbols);
+  ProgramInfo info = testing_util::ValidateOrDie(program);
+  std::vector<GeneralRuleSpec> specs(2);
+  specs[0].vars = {symbols.Intern("Y")};
+  specs[0].h = DiscriminatingFunction::UniformHash(2);
+  specs[1].vars = {symbols.Intern("Z")};
+  specs[1].h = DiscriminatingFunction::UniformHash(2);
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 2, specs);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  Database edb;
+  ASSERT_TRUE(edb.LoadFacts(program).ok());
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output.Find(symbols.Lookup("reach"))->size(), 3u);
+}
+
+}  // namespace
+}  // namespace pdatalog

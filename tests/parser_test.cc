@@ -1,0 +1,145 @@
+#include "datalog/parser.h"
+
+#include "datalog/lexer.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::ParseOrDie;
+
+TEST(LexerTest, BasicTokens) {
+  StatusOr<std::vector<Token>> tokens = Tokenize("anc(X, y1) :- par(X).");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kLParen,
+                TokenKind::kVariable, TokenKind::kComma,
+                TokenKind::kIdentifier, TokenKind::kRParen,
+                TokenKind::kImplies, TokenKind::kIdentifier,
+                TokenKind::kLParen, TokenKind::kVariable,
+                TokenKind::kRParen, TokenKind::kPeriod, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsAndWhitespace) {
+  StatusOr<std::vector<Token>> tokens =
+      Tokenize("% a comment\n  p(a). % trailing\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 6u);  // p ( a ) . END
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  StatusOr<std::vector<Token>> tokens = Tokenize("p(42, -7, 'hello world').");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[2].text, "42");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[4].text, "-7");
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[6].text, "hello world");
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  StatusOr<std::vector<Token>> tokens = Tokenize("p(a).\n  @");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("p('oops).").ok());
+}
+
+TEST(LexerTest, LoneColonIsError) {
+  EXPECT_FALSE(Tokenize("p(a) : q(a).").ok());
+}
+
+TEST(ParserTest, FactsAndRules) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "par(a, b).\n"
+      "par(b, c).\n"
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+      &symbols);
+  EXPECT_EQ(program.facts.size(), 2u);
+  EXPECT_EQ(program.rules.size(), 2u);
+  EXPECT_EQ(ToString(program.rules[1], symbols),
+            "anc(X, Y) :- par(X, Z), anc(Z, Y).");
+}
+
+TEST(ParserTest, ZeroArityPredicates) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("go.\nready :- go.\n", &symbols);
+  EXPECT_EQ(program.facts.size(), 1u);
+  EXPECT_EQ(program.rules.size(), 1u);
+  EXPECT_EQ(program.facts[0].arity(), 0);
+}
+
+TEST(ParserTest, QuotedAndNumericConstants) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("edge(1, 'node two').\n", &symbols);
+  ASSERT_EQ(program.facts.size(), 1u);
+  EXPECT_EQ(symbols.Name(program.facts[0].args[0].sym), "1");
+  EXPECT_EQ(symbols.Name(program.facts[0].args[1].sym), "node two");
+}
+
+TEST(ParserTest, NonGroundFactRejected) {
+  SymbolTable symbols;
+  EXPECT_FALSE(ParseProgram("par(X, b).", &symbols).ok());
+}
+
+TEST(ParserTest, MissingPeriodRejected) {
+  SymbolTable symbols;
+  EXPECT_FALSE(ParseProgram("anc(X, Y) :- par(X, Y)", &symbols).ok());
+}
+
+TEST(ParserTest, VariableAsPredicateRejected) {
+  SymbolTable symbols;
+  EXPECT_FALSE(ParseProgram("Par(a, b).", &symbols).ok());
+}
+
+TEST(ParserTest, EmptyProgram) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("  % nothing here\n", &symbols);
+  EXPECT_TRUE(program.rules.empty());
+  EXPECT_TRUE(program.facts.empty());
+}
+
+TEST(ParserTest, ParseErrorsIncludeLocation) {
+  SymbolTable symbols;
+  StatusOr<Program> program = ParseProgram("p(a).\nq(a) :- ,\n", &symbols);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  SymbolTable symbols;
+  const char* source =
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n"
+      "par(a, b).\n"
+      "?- anc(a, X).\n";
+  Program program = ParseOrDie(source, &symbols);
+  EXPECT_EQ(ToString(program), source);
+}
+
+TEST(ParserTest, EmbeddedQueries) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "p(a).\n?- p(X).\n?- p(a).\n", &symbols);
+  ASSERT_EQ(program.queries.size(), 2u);
+  EXPECT_TRUE(program.queries[0].args[0].is_var());
+  EXPECT_TRUE(program.queries[1].IsGround());
+}
+
+TEST(ParserTest, MalformedQueryDirectiveRejected) {
+  SymbolTable symbols;
+  EXPECT_FALSE(ParseProgram("?- p(X)", &symbols).ok());   // no period
+  EXPECT_FALSE(ParseProgram("? p(X).", &symbols).ok());   // lone '?'
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,116 @@
+#include "datalog/query.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace pdatalog {
+namespace {
+
+Database MakeAncDb(SymbolTable* symbols) {
+  return testing_util::EvalOrDie(
+      "par(a, b).\npar(b, c).\npar(b, d).\n"
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+      symbols);
+}
+
+TEST(QueryTest, BoundFirstArgument) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  StatusOr<QueryResult> result = EvaluateQuery("anc(a, X)", &symbols, db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToString(symbols), "X = b\nX = c\nX = d\n");
+}
+
+TEST(QueryTest, BoundSecondArgument) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  StatusOr<QueryResult> result = EvaluateQuery("anc(X, d)", &symbols, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(symbols), "X = a\nX = b\n");
+}
+
+TEST(QueryTest, AllFree) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  StatusOr<QueryResult> result = EvaluateQuery("anc(X, Y)", &symbols, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bindings.size(), 5u);  // ab ac ad bc bd
+  EXPECT_EQ(result->variables.size(), 2u);
+}
+
+TEST(QueryTest, GroundQueryIsBoolean) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  StatusOr<QueryResult> yes = EvaluateQuery("anc(a, c)", &symbols, db);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->IsBoolean());
+  EXPECT_TRUE(yes->Holds());
+  EXPECT_EQ(yes->ToString(symbols), "true\n");
+
+  StatusOr<QueryResult> no = EvaluateQuery("anc(c, a)", &symbols, db);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->Holds());
+  EXPECT_EQ(no->ToString(symbols), "false\n");
+}
+
+TEST(QueryTest, RepeatedVariableSelectsDiagonal) {
+  SymbolTable symbols;
+  Database db;
+  Relation& rel = db.GetOrCreate(symbols.Intern("e"), 2);
+  Value a = symbols.Intern("a");
+  Value b = symbols.Intern("b");
+  rel.Insert(Tuple{a, a});
+  rel.Insert(Tuple{a, b});
+  rel.Insert(Tuple{b, b});
+  StatusOr<QueryResult> result = EvaluateQuery("e(X, X)", &symbols, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(symbols), "X = a\nX = b\n");
+}
+
+TEST(QueryTest, ProjectionDeduplicates) {
+  SymbolTable symbols;
+  Database db;
+  Relation& rel = db.GetOrCreate(symbols.Intern("e"), 2);
+  rel.Insert(Tuple{symbols.Intern("a"), symbols.Intern("x")});
+  rel.Insert(Tuple{symbols.Intern("a"), symbols.Intern("y")});
+  StatusOr<QueryResult> result = EvaluateQuery("e(V, W)", &symbols, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bindings.size(), 2u);
+  StatusOr<QueryResult> first = EvaluateQuery("e(V, Q)", &symbols, db);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->bindings.size(), 2u);
+}
+
+TEST(QueryTest, UnknownPredicateIsEmpty) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  StatusOr<QueryResult> result = EvaluateQuery("ghost(X)", &symbols, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->bindings.empty());
+}
+
+TEST(QueryTest, TrailingPeriodAccepted) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  StatusOr<QueryResult> result =
+      EvaluateQuery("anc(a, X).", &symbols, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bindings.size(), 3u);
+}
+
+TEST(QueryTest, ArityMismatchRejected) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  EXPECT_FALSE(EvaluateQuery("anc(X)", &symbols, db).ok());
+}
+
+TEST(QueryTest, MalformedQueryRejected) {
+  SymbolTable symbols;
+  Database db = MakeAncDb(&symbols);
+  EXPECT_FALSE(EvaluateQuery("anc(X,", &symbols, db).ok());
+  EXPECT_FALSE(EvaluateQuery("anc(X), anc(Y)", &symbols, db).ok());
+}
+
+}  // namespace
+}  // namespace pdatalog

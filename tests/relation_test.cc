@@ -1,0 +1,124 @@
+#include "storage/relation.h"
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(Tuple{1, 2}));
+  EXPECT_FALSE(rel.Insert(Tuple{1, 2}));
+  EXPECT_TRUE(rel.Insert(Tuple{2, 1}));
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, Contains) {
+  Relation rel(2);
+  rel.Insert(Tuple{1, 2});
+  EXPECT_TRUE(rel.Contains(Tuple{1, 2}));
+  EXPECT_FALSE(rel.Contains(Tuple{2, 2}));
+}
+
+TEST(RelationTest, RowsAppendOnlyInInsertionOrder) {
+  Relation rel(1);
+  rel.Insert(Tuple{5});
+  rel.Insert(Tuple{3});
+  rel.Insert(Tuple{5});  // duplicate, not appended
+  rel.Insert(Tuple{9});
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_EQ(rel.row(0), (Tuple{5}));
+  EXPECT_EQ(rel.row(1), (Tuple{3}));
+  EXPECT_EQ(rel.row(2), (Tuple{9}));
+}
+
+TEST(RelationTest, DedupSurvivesRehashAndGrowth) {
+  Relation rel(2);
+  for (Value i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(rel.Insert(Tuple{i, i + 1}));
+  }
+  for (Value i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(rel.Insert(Tuple{i, i + 1}));
+  }
+  EXPECT_EQ(rel.size(), 5000u);
+}
+
+TEST(ColumnIndexTest, KeyExtraction) {
+  ColumnIndex index(/*mask=*/0b101, /*arity=*/3);
+  Tuple key = index.MakeKey(Tuple{7, 8, 9});
+  EXPECT_EQ(key, (Tuple{7, 9}));
+}
+
+TEST(RelationTest, EnsureIndexLookup) {
+  Relation rel(2);
+  rel.Insert(Tuple{1, 10});
+  rel.Insert(Tuple{1, 11});
+  rel.Insert(Tuple{2, 10});
+  const ColumnIndex& index = rel.EnsureIndex(0b01);  // key on column 0
+  const std::vector<uint32_t>* ids = index.Lookup(Tuple{1});
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(ids->size(), 2u);
+  EXPECT_EQ((*ids)[0], 0u);
+  EXPECT_EQ((*ids)[1], 1u);
+  EXPECT_EQ(index.Lookup(Tuple{9}), nullptr);
+}
+
+TEST(RelationTest, IndexExtendsIncrementally) {
+  Relation rel(2);
+  rel.Insert(Tuple{1, 10});
+  rel.EnsureIndex(0b01);
+  rel.Insert(Tuple{1, 11});
+  // A stale index is still returned, but only covers the built prefix.
+  const ColumnIndex* stale = rel.GetIndex(0b01);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->built_upto(), 1u);
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+  const std::vector<uint32_t>* ids = index.Lookup(Tuple{1});
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(ids->size(), 2u);
+  EXPECT_EQ(index.built_upto(), 2u);
+}
+
+TEST(RelationTest, GetIndexMissing) {
+  Relation rel(2);
+  rel.Insert(Tuple{1, 2});
+  EXPECT_EQ(rel.GetIndex(0b10), nullptr);
+}
+
+TEST(RelationTest, MultipleIndexesCoexist) {
+  Relation rel(2);
+  rel.Insert(Tuple{1, 10});
+  rel.Insert(Tuple{2, 10});
+  const ColumnIndex& by_first = rel.EnsureIndex(0b01);
+  const ColumnIndex& by_second = rel.EnsureIndex(0b10);
+  EXPECT_EQ(by_first.Lookup(Tuple{1})->size(), 1u);
+  EXPECT_EQ(by_second.Lookup(Tuple{10})->size(), 2u);
+}
+
+TEST(RelationTest, FullMaskIndexActsAsExactLookup) {
+  Relation rel(2);
+  rel.Insert(Tuple{4, 5});
+  const ColumnIndex& index = rel.EnsureIndex(0b11);
+  EXPECT_NE(index.Lookup(Tuple{4, 5}), nullptr);
+  EXPECT_EQ(index.Lookup(Tuple{5, 4}), nullptr);
+}
+
+TEST(RelationTest, SortedDump) {
+  SymbolTable symbols;
+  Value a = symbols.Intern("a");
+  Value b = symbols.Intern("b");
+  Relation rel(2);
+  rel.Insert(Tuple{b, a});
+  rel.Insert(Tuple{a, b});
+  EXPECT_EQ(rel.ToSortedString(symbols), "(a, b)\n(b, a)\n");
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert(Tuple{}));
+  EXPECT_FALSE(rel.Insert(Tuple{}));
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdatalog

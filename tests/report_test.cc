@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/generators.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::AncestorScheme;
+using testing_util::MakeAncestorBundle;
+using testing_util::MakeAncestorSetup;
+
+ParallelResult RunAncestor(int P) {
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 8);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, P);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  EXPECT_TRUE(result.ok());
+  return std::move(*result);
+}
+
+TEST(ReportTest, TotalsLine) {
+  ParallelResult result = RunAncestor(3);
+  ReportOptions options;
+  options.per_worker = false;
+  options.channel_matrix = false;
+  std::string report = RenderReport(result, options);
+  EXPECT_NE(report.find("totals:"), std::string::npos);
+  EXPECT_NE(report.find("36 output tuples"), std::string::npos);  // 8*9/2
+  EXPECT_NE(report.find("bytes"), std::string::npos);
+}
+
+TEST(ReportTest, PerWorkerTableHasOneRowPerProcessor) {
+  ParallelResult result = RunAncestor(4);
+  ReportOptions options;
+  options.totals = false;
+  std::string report = RenderReport(result, options);
+  // Header + separator + 4 rows.
+  EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 6);
+  EXPECT_NE(report.find("rows examined"), std::string::npos);
+}
+
+TEST(ReportTest, ChannelMatrixRendered) {
+  ParallelResult result = RunAncestor(2);
+  ReportOptions options;
+  options.totals = false;
+  options.per_worker = false;
+  options.channel_matrix = true;
+  std::string report = RenderReport(result, options);
+  EXPECT_NE(report.find("from\\to"), std::string::npos);
+  EXPECT_NE(report.find("p1"), std::string::npos);
+}
+
+TEST(ReportTest, BytesAccounting) {
+  // Arity-2 tuples: 6 + 8 = 14 bytes per cross message.
+  ParallelResult result = RunAncestor(4);
+  EXPECT_EQ(result.cross_bytes, result.cross_tuples * 14);
+}
+
+TEST(ReportTest, ByteMatrixConsistentWithTupleMatrix) {
+  ParallelResult result = RunAncestor(4);
+  for (size_t i = 0; i < result.workers.size(); ++i) {
+    for (size_t j = 0; j < result.workers.size(); ++j) {
+      EXPECT_EQ(result.bytes_matrix[i][j],
+                result.channel_matrix[i][j] * 14);
+    }
+  }
+}
+
+TEST(TimelineTest, RendersOneRowPerProcessor) {
+  ParallelResult result = RunAncestor(3);
+  std::string timeline = RenderBspTimeline(result, 1.0, 0.0);
+  EXPECT_NE(timeline.find("p0 |"), std::string::npos);
+  EXPECT_NE(timeline.find("p2 |"), std::string::npos);
+  EXPECT_EQ(std::count(timeline.begin(), timeline.end(), '\n'), 4);
+}
+
+TEST(TimelineTest, EmptyRunHandled) {
+  ParallelResult result;
+  EXPECT_EQ(RenderBspTimeline(result, 1.0, 1.0), "(no rounds)\n");
+}
+
+TEST(TimelineTest, WidthCapAggregates) {
+  ParallelResult result = RunAncestor(2);
+  std::string narrow = RenderBspTimeline(result, 1.0, 1.0, 5);
+  // "pN |" + at most 5 columns + "|".
+  size_t line_end = narrow.find('\n', narrow.find("p0 |"));
+  size_t line_start = narrow.find("p0 |");
+  EXPECT_LE(line_end - line_start, 4u + 5u + 1u);
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,248 @@
+#include "core/rewrite.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::ValidateOrDie;
+
+struct AncestorFixture {
+  SymbolTable symbols;
+  Program program;
+  ProgramInfo info;
+  LinearSirup sirup;
+
+  AncestorFixture() {
+    program = ParseOrDie(testing_util::kAncestorProgram, &symbols);
+    info = ValidateOrDie(program);
+    StatusOr<LinearSirup> s = ExtractLinearSirup(program, info);
+    EXPECT_TRUE(s.ok());
+    sirup = std::move(*s);
+  }
+
+  Symbol Var(const char* name) { return symbols.Intern(name); }
+};
+
+TEST(RewriteLinearTest, Example1Structure) {
+  // Paper Section 4.1: v(r) = v(e) = <Y>.
+  AncestorFixture fx;
+  LinearSchemeOptions options;
+  options.v_r = {fx.Var("Y")};
+  options.v_e = {fx.Var("Y")};
+  options.h = DiscriminatingFunction::UniformHash(3);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(fx.program, fx.info, fx.sirup, 3, options);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  EXPECT_EQ(bundle->num_processors, 3);
+  EXPECT_TRUE(bundle->non_redundant);
+  ASSERT_EQ(bundle->per_processor.size(), 3u);
+
+  // Processor 1's program printed exactly like the paper's Q_i.
+  const Program& q1 = bundle->per_processor[1];
+  ASSERT_EQ(q1.rules.size(), 2u);
+  EXPECT_EQ(ToString(q1.rules[0], fx.symbols),
+            "anc_out(X, Y) :- par(X, Y), h'(Y) = 1.");
+  EXPECT_EQ(ToString(q1.rules[1], fx.symbols),
+            "anc_out(X, Y) :- par(X, Z), anc_in(Z, Y), h(Y) = 1.");
+
+  // Y does not occur in par(X, Z): par must be shared (Section 4.1), and
+  // so must the exit-rule occurrence (its sequence is also <Y>)... the
+  // exit rule par(X, Y) does contain Y, so it fragments.
+  ASSERT_EQ(bundle->base_occurrences.size(), 2u);
+  EXPECT_EQ(bundle->base_occurrences[0].access,
+            BaseOccurrence::Access::kFragment);  // exit par(X, Y) on Y
+  EXPECT_EQ(bundle->base_occurrences[1].access,
+            BaseOccurrence::Access::kReplicated);  // rec par(X, Z)
+
+  // One send spec per processor (one recursive atom), fully determined:
+  // Y occurs in anc(Z, Y) at position 1.
+  ASSERT_EQ(bundle->sends[0].size(), 1u);
+  const SendSpec& send = bundle->sends[0][0];
+  EXPECT_TRUE(send.determined);
+  EXPECT_EQ(send.var_positions, (std::vector<int>{1}));
+  EXPECT_EQ(send.predicate, fx.symbols.Lookup("anc"));
+}
+
+TEST(RewriteLinearTest, Example3Structure) {
+  // Paper Section 4.3: v(e) = <X>, v(r) = <Z>.
+  AncestorFixture fx;
+  LinearSchemeOptions options;
+  options.v_r = {fx.Var("Z")};
+  options.v_e = {fx.Var("X")};
+  options.h = DiscriminatingFunction::UniformHash(4);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(fx.program, fx.info, fx.sirup, 4, options);
+  ASSERT_TRUE(bundle.ok());
+
+  const Program& q2 = bundle->per_processor[2];
+  EXPECT_EQ(ToString(q2.rules[0], fx.symbols),
+            "anc_out(X, Y) :- par(X, Y), h'(X) = 2.");
+  EXPECT_EQ(ToString(q2.rules[1], fx.symbols),
+            "anc_out(X, Y) :- par(X, Z), anc_in(Z, Y), h(Z) = 2.");
+
+  // Both par occurrences fragment: exit on column 0 (X), rec on column 1
+  // (Z). Disjoint access, as Section 4.3 observes.
+  ASSERT_EQ(bundle->base_occurrences.size(), 2u);
+  EXPECT_EQ(bundle->base_occurrences[0].access,
+            BaseOccurrence::Access::kFragment);
+  EXPECT_EQ(bundle->base_occurrences[0].positions, (std::vector<int>{0}));
+  EXPECT_EQ(bundle->base_occurrences[1].access,
+            BaseOccurrence::Access::kFragment);
+  EXPECT_EQ(bundle->base_occurrences[1].positions, (std::vector<int>{1}));
+
+  // Sending is determined: Z is position 0 of anc(Z, Y).
+  EXPECT_TRUE(bundle->sends[0][0].determined);
+  EXPECT_EQ(bundle->sends[0][0].var_positions, (std::vector<int>{0}));
+}
+
+TEST(RewriteLinearTest, Example2BroadcastWhenUndetermined) {
+  // Paper Section 4.2: v(r) = <X, Z>; X does not occur in anc(Z, Y), so
+  // the sender cannot evaluate h and must broadcast.
+  AncestorFixture fx;
+  LinearSchemeOptions options;
+  options.v_r = {fx.Var("X"), fx.Var("Z")};
+  options.v_e = {fx.Var("X"), fx.Var("Y")};
+  options.h = DiscriminatingFunction::UniformHash(3);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(fx.program, fx.info, fx.sirup, 3, options);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_FALSE(bundle->sends[0][0].determined);
+}
+
+TEST(RewriteLinearTest, RejectsSequenceVarNotInRule) {
+  AncestorFixture fx;
+  LinearSchemeOptions options;
+  options.v_r = {fx.Var("W")};  // not in the recursive rule
+  options.v_e = {fx.Var("Y")};
+  options.h = DiscriminatingFunction::UniformHash(2);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(fx.program, fx.info, fx.sirup, 2, options);
+  EXPECT_FALSE(bundle.ok());
+}
+
+TEST(RewriteLinearTest, DecoratedNamesAvoidCollisions) {
+  SymbolTable symbols;
+  // A user predicate already named anc_out.
+  Program program = ParseOrDie(
+      "anc(X, Y) :- anc_out(X, Y).\n"
+      "anc(X, Y) :- anc_out(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  StatusOr<LinearSirup> sirup = ExtractLinearSirup(program, info);
+  ASSERT_TRUE(sirup.ok());
+  LinearSchemeOptions options;
+  options.v_r = {symbols.Intern("Y")};
+  options.v_e = {symbols.Intern("Y")};
+  options.h = DiscriminatingFunction::UniformHash(2);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(program, info, *sirup, 2, options);
+  ASSERT_TRUE(bundle.ok());
+  Symbol anc = symbols.Lookup("anc");
+  EXPECT_NE(bundle->out_name.at(anc), symbols.Lookup("anc_out"));
+  EXPECT_EQ(symbols.Name(bundle->out_name.at(anc)), "anc_out_");
+}
+
+TEST(RewriteGeneralTest, Example8NonLinearAncestor) {
+  // Paper Section 7, Example 8.
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  std::vector<GeneralRuleSpec> specs(2);
+  specs[0].vars = {symbols.Intern("Y")};
+  specs[0].h = DiscriminatingFunction::UniformHash(2);
+  specs[1].vars = {symbols.Intern("Z")};
+  specs[1].h = DiscriminatingFunction::UniformHash(2);
+
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 2, specs);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_TRUE(bundle->non_redundant);
+
+  const Program& t0 = bundle->per_processor[0];
+  EXPECT_EQ(ToString(t0.rules[0], symbols),
+            "anc_out(X, Y) :- par(X, Y), h1(Y) = 0.");
+  EXPECT_EQ(ToString(t0.rules[1], symbols),
+            "anc_out(X, Y) :- anc_in(X, Z), anc_in(Z, Y), h2(Z) = 0.");
+
+  // Two send specs (one per recursive atom of rule 2): anc(X, Z) routes
+  // on column 1, anc(Z, Y) on column 0.
+  ASSERT_EQ(bundle->sends[0].size(), 2u);
+  EXPECT_EQ(bundle->sends[0][0].var_positions, (std::vector<int>{1}));
+  EXPECT_EQ(bundle->sends[0][1].var_positions, (std::vector<int>{0}));
+}
+
+TEST(RewriteGeneralTest, SpecCountMustMatchRules) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(testing_util::kAncestorProgram, &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  EXPECT_FALSE(RewriteGeneral(program, info, 2, {}).ok());
+}
+
+TEST(RewriteTradeoffTest, ProcessingRulesUnconstrained) {
+  AncestorFixture fx;
+  TradeoffOptions options;
+  options.v_r = {fx.Var("Z")};
+  options.v_e = {fx.Var("X")};
+  options.h_prime = DiscriminatingFunction::UniformHash(2);
+  options.h_i = {DiscriminatingFunction::Constant(0),
+                 DiscriminatingFunction::Constant(1)};
+  StatusOr<RewriteBundle> bundle =
+      RewriteTradeoff(fx.program, fx.info, fx.sirup, 2, options);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_FALSE(bundle->non_redundant);
+
+  // Init rule keeps the h' constraint; processing rule has none.
+  const Program& r0 = bundle->per_processor[0];
+  EXPECT_EQ(r0.rules[0].constraints.size(), 1u);
+  EXPECT_TRUE(r0.rules[1].constraints.empty());
+
+  // Each processor routes with its own function.
+  EXPECT_NE(bundle->sends[0][0].function, bundle->sends[1][0].function);
+}
+
+TEST(RewriteTradeoffTest, RequiresVrInY) {
+  AncestorFixture fx;
+  TradeoffOptions options;
+  options.v_r = {fx.Var("X")};  // X not in anc(Z, Y)
+  options.v_e = {fx.Var("X")};
+  options.h_prime = DiscriminatingFunction::UniformHash(2);
+  options.h_i = {DiscriminatingFunction::Constant(0),
+                 DiscriminatingFunction::Constant(1)};
+  EXPECT_FALSE(
+      RewriteTradeoff(fx.program, fx.info, fx.sirup, 2, options).ok());
+}
+
+TEST(RewriteTradeoffTest, RequiresOneFunctionPerProcessor) {
+  AncestorFixture fx;
+  TradeoffOptions options;
+  options.v_r = {fx.Var("Z")};
+  options.v_e = {fx.Var("X")};
+  options.h_prime = DiscriminatingFunction::UniformHash(2);
+  options.h_i = {DiscriminatingFunction::Constant(0)};
+  EXPECT_FALSE(
+      RewriteTradeoff(fx.program, fx.info, fx.sirup, 2, options).ok());
+}
+
+TEST(RewriteLinearTest, LocalProgramsValidate) {
+  AncestorFixture fx;
+  LinearSchemeOptions options;
+  options.v_r = {fx.Var("Z")};
+  options.v_e = {fx.Var("X")};
+  options.h = DiscriminatingFunction::UniformHash(2);
+  StatusOr<RewriteBundle> bundle =
+      RewriteLinearSirup(fx.program, fx.info, fx.sirup, 2, options);
+  ASSERT_TRUE(bundle.ok());
+  for (const Program& local : bundle->per_processor) {
+    ProgramInfo local_info;
+    EXPECT_TRUE(Validate(local, &local_info).ok());
+  }
+}
+
+}  // namespace
+}  // namespace pdatalog

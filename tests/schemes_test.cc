@@ -1,0 +1,313 @@
+// Tests reproducing the paper's Section 4 and Section 6 claims as exact
+// program properties: communication patterns, fragmentation, and the
+// non-redundancy theorems.
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/generators.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::AncestorScheme;
+using testing_util::DumpOutput;
+using testing_util::MakeAncestorBundle;
+using testing_util::MakeAncestorSetup;
+using testing_util::SequentialAncestor;
+
+// --- Example 1 (Wolfson-Silberschatz): no communication ----------------
+
+TEST(Example1Test, NoCrossChannelTrafficEver) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    auto setup = MakeAncestorSetup();
+    GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, seed);
+    RewriteBundle bundle =
+        MakeAncestorBundle(setup.get(), AncestorScheme::kExample1, 4, seed);
+    StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+    ASSERT_TRUE(result.ok());
+    // "no communication is incurred during the recursive computation"
+    EXPECT_EQ(result->cross_tuples, 0u) << "seed " << seed;
+    EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()),
+              SequentialAncestor(setup.get(), nullptr));
+  }
+}
+
+TEST(Example1Test, RecursiveParOccurrenceIsReplicated) {
+  auto setup = MakeAncestorSetup();
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample1, 4);
+  // par(X, Z) in the recursive rule: Y does not occur, so it must be
+  // shared/replicated (Section 4.1).
+  EXPECT_EQ(bundle.base_occurrences[1].access,
+            BaseOccurrence::Access::kReplicated);
+}
+
+// --- Example 2 (Valduriez-Khoshafian): arbitrary fragments, broadcast --
+
+TEST(Example2Test, EveryOutputTupleIsBroadcast) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 25, 50, 7);
+  const int P = 4;
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample2, P, 7);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  ASSERT_TRUE(result.ok());
+
+  // "all tuples in anc_out^i are communicated to processor j": each
+  // distinct output tuple of each worker goes to all P processors.
+  EXPECT_EQ(result->cross_tuples + result->self_tuples,
+            result->out_tuples_total * P);
+  EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()),
+            SequentialAncestor(setup.get(), nullptr));
+}
+
+TEST(Example2Test, WorksOnAnyFragmentationSeed) {
+  for (uint64_t frag_seed : {11u, 22u, 33u}) {
+    auto setup = MakeAncestorSetup();
+    GenTree(&setup->symbols, &setup->edb, "par", 2, 5);
+    RewriteBundle bundle = MakeAncestorBundle(
+        setup.get(), AncestorScheme::kExample2, 3, frag_seed);
+    StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()),
+              SequentialAncestor(setup.get(), nullptr))
+        << "fragmentation seed " << frag_seed;
+  }
+}
+
+TEST(Example2Test, BaseRelationFullyFragmented) {
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 20);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample2, 4);
+  // v(r) = <X, Z> occurs fully in par(X, Z); v(e) = <X, Y> in par(X, Y):
+  // both occurrences fragment, nothing is replicated.
+  for (const BaseOccurrence& occ : bundle.base_occurrences) {
+    EXPECT_EQ(occ.access, BaseOccurrence::Access::kFragment);
+  }
+}
+
+// --- Example 3 (the paper's new scheme): point-to-point -----------------
+
+TEST(Example3Test, EveryTupleSentToExactlyOneProcessor) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 13);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+  ASSERT_TRUE(result.ok());
+  // "every tuple is sent to, and processed by, a unique processor."
+  EXPECT_EQ(result->cross_tuples + result->self_tuples,
+            result->out_tuples_total);
+  uint64_t broadcasts = 0;
+  for (const WorkerStats& w : result->workers) broadcasts += w.broadcasts;
+  EXPECT_EQ(broadcasts, 0u);
+}
+
+TEST(Example3Test, CommunicationBetweenExtremes) {
+  // comm(Ex1) = 0 <= comm(Ex3) <= comm(Ex2), strict on non-trivial data.
+  auto setup1 = MakeAncestorSetup();
+  auto setup2 = MakeAncestorSetup();
+  auto setup3 = MakeAncestorSetup();
+  for (auto* s : {setup1.get(), setup2.get(), setup3.get()}) {
+    GenRandomGraph(&s->symbols, &s->edb, "par", 30, 60, 21);
+  }
+  const int P = 4;
+  RewriteBundle b1 =
+      MakeAncestorBundle(setup1.get(), AncestorScheme::kExample1, P);
+  RewriteBundle b2 =
+      MakeAncestorBundle(setup2.get(), AncestorScheme::kExample2, P);
+  RewriteBundle b3 =
+      MakeAncestorBundle(setup3.get(), AncestorScheme::kExample3, P);
+  StatusOr<ParallelResult> r1 = RunParallel(b1, &setup1->edb);
+  StatusOr<ParallelResult> r2 = RunParallel(b2, &setup2->edb);
+  StatusOr<ParallelResult> r3 = RunParallel(b3, &setup3->edb);
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(r1->cross_tuples, 0u);
+  EXPECT_GT(r3->cross_tuples, 0u);
+  EXPECT_LT(r3->cross_tuples, r2->cross_tuples);
+}
+
+// --- Theorem 2: semi-naive non-redundancy -------------------------------
+
+TEST(NonRedundancyTest, AllSection4SchemesMatchSequentialFirings) {
+  for (AncestorScheme scheme :
+       {AncestorScheme::kExample1, AncestorScheme::kExample2,
+        AncestorScheme::kExample3}) {
+    auto setup = MakeAncestorSetup();
+    GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 70, 31);
+    EvalStats seq_stats;
+    SequentialAncestor(setup.get(), &seq_stats);
+    RewriteBundle bundle = MakeAncestorBundle(setup.get(), scheme, 4);
+    StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+    ASSERT_TRUE(result.ok());
+    // Theorem 2 guarantees <=; partitioning the substitution space in
+    // fact gives exact equality.
+    EXPECT_EQ(result->total_firings, seq_stats.firings)
+        << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+TEST(NonRedundancyTest, HoldsAcrossProcessorCounts) {
+  for (int P : {1, 2, 3, 5, 8}) {
+    auto setup = MakeAncestorSetup();
+    GenTree(&setup->symbols, &setup->edb, "par", 3, 4);
+    EvalStats seq_stats;
+    SequentialAncestor(setup.get(), &seq_stats);
+    RewriteBundle bundle =
+        MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, P);
+    StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->total_firings, seq_stats.firings) << "P=" << P;
+  }
+}
+
+// --- Section 6: the redundancy / communication trade-off ----------------
+
+struct TradeoffPoint {
+  double rho;
+  uint64_t firings;
+  uint64_t cross;
+  std::string output;
+};
+
+TradeoffPoint RunTradeoff(double rho, int P, uint64_t data_seed) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, data_seed);
+  TradeoffOptions options;
+  options.v_r = {setup->symbols.Intern("Z")};
+  options.v_e = {setup->symbols.Intern("X")};
+  options.h_prime = DiscriminatingFunction::UniformHash(P);
+  for (int i = 0; i < P; ++i) {
+    options.h_i.push_back(DiscriminatingFunction::KeepOrHash(i, rho, P));
+  }
+  StatusOr<RewriteBundle> bundle = RewriteTradeoff(
+      setup->program, setup->info, setup->sirup, P, options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &setup->edb);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  TradeoffPoint point;
+  point.rho = rho;
+  point.firings = result->total_firings;
+  point.cross = result->cross_tuples;
+  point.output = DumpOutput(*result, setup->symbols, setup->anc());
+  return point;
+}
+
+TEST(TradeoffTest, KeepAllLocalIsCommunicationFree) {
+  // rho = 1 is the scheme of [18]: no communication, redundancy allowed.
+  TradeoffPoint p = RunTradeoff(1.0, 4, 41);
+  EXPECT_EQ(p.cross, 0u);
+
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 41);
+  EvalStats seq_stats;
+  std::string expected = SequentialAncestor(setup.get(), &seq_stats);
+  EXPECT_EQ(p.output, expected);
+  EXPECT_GE(p.firings, seq_stats.firings);  // redundancy permitted
+}
+
+TEST(TradeoffTest, FullHashingIsNonRedundant) {
+  // rho = 0 coincides with the Section 3 scheme: shared h everywhere.
+  TradeoffPoint p = RunTradeoff(0.0, 4, 41);
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 41);
+  EvalStats seq_stats;
+  std::string expected = SequentialAncestor(setup.get(), &seq_stats);
+  EXPECT_EQ(p.output, expected);
+  EXPECT_EQ(p.firings, seq_stats.firings);
+  EXPECT_GT(p.cross, 0u);
+}
+
+TEST(TradeoffTest, SpectrumTradesCommunicationForRedundancy) {
+  // "more communication would lead to lesser redundancy, and
+  // vice-versa": across rho, communication decreases while firings
+  // (redundancy) do not decrease.
+  TradeoffPoint p0 = RunTradeoff(0.0, 4, 55);
+  TradeoffPoint p5 = RunTradeoff(0.5, 4, 55);
+  TradeoffPoint p10 = RunTradeoff(1.0, 4, 55);
+
+  EXPECT_EQ(p0.output, p5.output);
+  EXPECT_EQ(p5.output, p10.output);
+
+  EXPECT_GT(p0.cross, p5.cross);
+  EXPECT_GT(p5.cross, p10.cross);
+  EXPECT_EQ(p10.cross, 0u);
+
+  EXPECT_LE(p0.firings, p5.firings);
+  EXPECT_LE(p5.firings, p10.firings);
+}
+
+// --- Section 7 / Theorem 6 on the general scheme -------------------------
+
+TEST(GeneralSchemeTest, NonLinearFiringsDoNotExceedSequential) {
+  SymbolTable symbols;
+  Program program = testing_util::ParseOrDie(
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info = testing_util::ValidateOrDie(program);
+
+  Database seq_db;
+  GenRandomGraph(&symbols, &seq_db, "par", 20, 40, 61);
+  EvalStats seq_stats;
+  ASSERT_TRUE(SemiNaiveEvaluate(program, info, &seq_db, &seq_stats).ok());
+
+  std::vector<GeneralRuleSpec> specs(2);
+  specs[0].vars = {symbols.Intern("Y")};
+  specs[0].h = DiscriminatingFunction::UniformHash(4);
+  specs[1].vars = {symbols.Intern("Z")};
+  specs[1].h = DiscriminatingFunction::UniformHash(4);
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 4, specs);
+  ASSERT_TRUE(bundle.ok());
+
+  Database edb;
+  GenRandomGraph(&symbols, &edb, "par", 20, 40, 61);
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  ASSERT_TRUE(result.ok());
+  // Theorem 6: parallel processing-rule firings never exceed the
+  // sequential count.
+  EXPECT_LE(result->total_firings, seq_stats.firings);
+  EXPECT_EQ(
+      result->output.Find(symbols.Lookup("anc"))->ToSortedString(symbols),
+      seq_db.Find(symbols.Lookup("anc"))->ToSortedString(symbols));
+}
+
+TEST(GeneralSchemeTest, MutualRecursionParallelMatchesSequential) {
+  SymbolTable symbols;
+  const char* source =
+      "even(X) :- zero(X).\n"
+      "even(Y) :- odd(X), edge(X, Y).\n"
+      "odd(Y) :- even(X), edge(X, Y).\n";
+  Program program = testing_util::ParseOrDie(source, &symbols);
+  ProgramInfo info = testing_util::ValidateOrDie(program);
+
+  Database seq_db;
+  GenChain(&symbols, &seq_db, "edge", 20);
+  seq_db.Insert(symbols.Intern("zero"), Tuple{symbols.Intern("n0")}, 1);
+  EvalStats seq_stats;
+  ASSERT_TRUE(SemiNaiveEvaluate(program, info, &seq_db, &seq_stats).ok());
+
+  std::vector<GeneralRuleSpec> specs(3);
+  specs[0].vars = {symbols.Intern("X")};
+  specs[1].vars = {symbols.Intern("Y")};
+  specs[2].vars = {symbols.Intern("Y")};
+  for (auto& s : specs) s.h = DiscriminatingFunction::UniformHash(3);
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 3, specs);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  Database edb;
+  GenChain(&symbols, &edb, "edge", 20);
+  edb.Insert(symbols.Intern("zero"), Tuple{symbols.Intern("n0")}, 1);
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const char* pred : {"even", "odd"}) {
+    EXPECT_EQ(result->output.Find(symbols.Lookup(pred))
+                  ->ToSortedString(symbols),
+              seq_db.Find(symbols.Lookup(pred))->ToSortedString(symbols))
+        << pred;
+  }
+  EXPECT_LE(result->total_firings, seq_stats.firings);
+}
+
+}  // namespace
+}  // namespace pdatalog

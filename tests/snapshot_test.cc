@@ -1,0 +1,96 @@
+#include "storage/snapshot.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace pdatalog {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/pdatalog_snapshot_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    (void)!std::system(cmd.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesRelations) {
+  SymbolTable symbols;
+  Database db;
+  GenRandomGraph(&symbols, &db, "edge", 20, 40, 3);
+  GenChain(&symbols, &db, "chain", 5);
+  StatusOr<size_t> saved = SaveDatabase(db, symbols, dir_);
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  EXPECT_EQ(*saved, 2u);
+
+  SymbolTable symbols2;
+  Database loaded;
+  StatusOr<size_t> n = LoadDatabase(dir_, &symbols2, &loaded);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  for (const char* pred : {"edge", "chain"}) {
+    EXPECT_EQ(loaded.Find(symbols2.Lookup(pred))->ToSortedString(symbols2),
+              db.Find(symbols.Lookup(pred))->ToSortedString(symbols))
+        << pred;
+  }
+}
+
+TEST_F(SnapshotTest, EvaluatedResultsRoundTrip) {
+  SymbolTable symbols;
+  Database db = testing_util::EvalOrDie(
+      "par(a, b).\npar(b, c).\n"
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ASSERT_TRUE(SaveDatabase(db, symbols, dir_).ok());
+
+  SymbolTable symbols2;
+  Database loaded;
+  ASSERT_TRUE(LoadDatabase(dir_, &symbols2, &loaded).ok());
+  EXPECT_EQ(loaded.Find(symbols2.Lookup("anc"))->size(), 3u);
+}
+
+TEST_F(SnapshotTest, MissingDirectoryFails) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> n =
+      LoadDatabase("/nonexistent/snapshot/dir", &symbols, &db);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, SaveIntoExistingDirectory) {
+  SymbolTable symbols;
+  Database db;
+  GenChain(&symbols, &db, "e", 3);
+  ASSERT_TRUE(SaveDatabase(db, symbols, dir_).ok());
+  // Saving again over the same directory succeeds (overwrites).
+  GenChain(&symbols, &db, "f", 2);
+  StatusOr<size_t> again = SaveDatabase(db, symbols, dir_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 2u);
+}
+
+TEST_F(SnapshotTest, EmptyDatabaseSavesNothing) {
+  SymbolTable symbols;
+  Database db;
+  StatusOr<size_t> saved = SaveDatabase(db, symbols, dir_);
+  ASSERT_TRUE(saved.ok());
+  EXPECT_EQ(*saved, 0u);
+  SymbolTable symbols2;
+  Database loaded;
+  StatusOr<size_t> n = LoadDatabase(dir_, &symbols2, &loaded);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,64 @@
+#include "datalog/symbol_table.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+TEST(SymbolTableTest, InternReturnsStableIds) {
+  SymbolTable table;
+  Symbol a = table.Intern("alice");
+  Symbol b = table.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alice"), a);
+  EXPECT_EQ(table.Intern("bob"), b);
+}
+
+TEST(SymbolTableTest, NameRoundTrips) {
+  SymbolTable table;
+  Symbol a = table.Intern("alice");
+  EXPECT_EQ(table.Name(a), "alice");
+}
+
+TEST(SymbolTableTest, LookupWithoutIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("ghost"), kInvalidSymbol);
+  Symbol a = table.Intern("real");
+  EXPECT_EQ(table.Lookup("real"), a);
+}
+
+TEST(SymbolTableTest, SizeTracksDistinctNames) {
+  SymbolTable table;
+  table.Intern("x");
+  table.Intern("y");
+  table.Intern("x");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, ManySymbolsSurviveRehash) {
+  // Guards the deque-stability invariant: string_view keys must stay
+  // valid across thousands of insertions (SSO strings would dangle if
+  // storage moved).
+  SymbolTable table;
+  std::vector<Symbol> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(table.Intern("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.Lookup("sym" + std::to_string(i)), ids[i]);
+    EXPECT_EQ(table.Name(ids[i]), "sym" + std::to_string(i));
+  }
+}
+
+TEST(SymbolTableTest, EmptyStringIsValidSymbol) {
+  SymbolTable table;
+  Symbol e = table.Intern("");
+  EXPECT_EQ(table.Name(e), "");
+  EXPECT_EQ(table.Intern(""), e);
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,64 @@
+// Shared helpers for the test suites.
+#ifndef PDATALOG_TESTS_TEST_UTIL_H_
+#define PDATALOG_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "datalog/validate.h"
+#include "eval/seminaive.h"
+#include "gtest/gtest.h"
+#include "storage/database.h"
+
+namespace pdatalog {
+namespace testing_util {
+
+// Parses `source` or fails the test.
+inline Program ParseOrDie(std::string_view source, SymbolTable* symbols) {
+  StatusOr<Program> program = ParseProgram(source, symbols);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(*program);
+}
+
+inline ProgramInfo ValidateOrDie(const Program& program) {
+  ProgramInfo info;
+  Status status = Validate(program, &info);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return info;
+}
+
+// Runs a full sequential semi-naive evaluation of `source` with its
+// inline facts; returns the database (EDB + IDB).
+inline Database EvalOrDie(std::string_view source, SymbolTable* symbols,
+                          EvalStats* stats = nullptr) {
+  Program program = ParseOrDie(source, symbols);
+  ProgramInfo info = ValidateOrDie(program);
+  Database db;
+  EXPECT_TRUE(db.LoadFacts(program).ok());
+  EvalStats local_stats;
+  Status status = SemiNaiveEvaluate(program, info, &db,
+                                    stats ? stats : &local_stats);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return db;
+}
+
+// Sorted dump of a relation, "" if the relation does not exist.
+inline std::string Dump(const Database& db, const SymbolTable& symbols,
+                        std::string_view predicate) {
+  Symbol sym = symbols.Lookup(predicate);
+  if (sym == kInvalidSymbol) return "";
+  const Relation* rel = db.Find(sym);
+  return rel == nullptr ? "" : rel->ToSortedString(symbols);
+}
+
+// The classic ancestor linear sirup.
+inline constexpr char kAncestorProgram[] = R"(
+  anc(X, Y) :- par(X, Y).
+  anc(X, Y) :- par(X, Z), anc(Z, Y).
+)";
+
+}  // namespace testing_util
+}  // namespace pdatalog
+
+#endif  // PDATALOG_TESTS_TEST_UTIL_H_

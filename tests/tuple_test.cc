@@ -1,0 +1,115 @@
+#include "storage/tuple.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+TEST(TupleTest, InlineStorage) {
+  Tuple t{1, 2, 3};
+  EXPECT_EQ(t.arity(), 3);
+  EXPECT_EQ(t[0], 1u);
+  EXPECT_EQ(t[2], 3u);
+}
+
+TEST(TupleTest, EmptyTuple) {
+  Tuple t;
+  EXPECT_EQ(t.arity(), 0);
+  EXPECT_EQ(t, Tuple{});
+}
+
+TEST(TupleTest, HeapSpillForLargeArity) {
+  Value data[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Tuple t(data, 10);
+  EXPECT_EQ(t.arity(), 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t[i], static_cast<Value>(i));
+}
+
+TEST(TupleTest, CopySemantics) {
+  Value data[10] = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  Tuple a(data, 10);
+  Tuple b = a;  // copy
+  EXPECT_EQ(a, b);
+  Tuple c{1, 2};
+  c = a;  // copy-assign, inline -> heap
+  EXPECT_EQ(c, a);
+  Tuple d(data, 10);
+  d = Tuple{5, 6};  // copy-assign, heap -> inline
+  EXPECT_EQ(d, (Tuple{5, 6}));
+}
+
+TEST(TupleTest, MoveSemantics) {
+  Value data[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Tuple a(data, 10);
+  Tuple b = std::move(a);
+  EXPECT_EQ(b.arity(), 10);
+  EXPECT_EQ(b[9], 9u);
+
+  Tuple c{1, 2, 3};
+  Tuple d = std::move(c);
+  EXPECT_EQ(d, (Tuple{1, 2, 3}));
+}
+
+TEST(TupleTest, SelfAssignment) {
+  Tuple a{1, 2, 3};
+  Tuple& ref = a;
+  a = ref;
+  EXPECT_EQ(a, (Tuple{1, 2, 3}));
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a{1, 2};
+  Tuple b{1, 2};
+  Tuple c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());  // order matters
+}
+
+TEST(TupleTest, ArityDistinguishes) {
+  Tuple a{1, 2};
+  Tuple b{1, 2, 0};
+  EXPECT_NE(a, b);
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_LT((Tuple{1, 9}), (Tuple{2, 0}));
+  EXPECT_LT((Tuple{5}), (Tuple{1, 1}));  // shorter arity first
+}
+
+TEST(TupleTest, WorksInUnorderedSet) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(Tuple{1, 2});
+  set.insert(Tuple{1, 2});
+  set.insert(Tuple{2, 1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Tuple{1, 2}));
+}
+
+TEST(TupleTest, ToStringUsesSymbolNames) {
+  SymbolTable symbols;
+  Value a = symbols.Intern("alice");
+  Value b = symbols.Intern("bob");
+  EXPECT_EQ((Tuple{a, b}).ToString(symbols), "(alice, bob)");
+}
+
+TEST(TupleTest, ManyHeapTuplesNoLeakOrCorruption) {
+  // Exercised under the dedup/copy churn a relation produces.
+  std::vector<Tuple> tuples;
+  Value data[6];
+  for (int i = 0; i < 1000; ++i) {
+    for (int k = 0; k < 6; ++k) data[k] = static_cast<Value>(i + k);
+    tuples.emplace_back(data, 6);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(tuples[i][0], static_cast<Value>(i));
+    EXPECT_EQ(tuples[i][5], static_cast<Value>(i + 5));
+  }
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,103 @@
+#include "datalog/validate.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::ParseOrDie;
+
+TEST(ValidateTest, ClassifiesBaseAndDerived) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(testing_util::kAncestorProgram, &symbols);
+  ProgramInfo info;
+  ASSERT_TRUE(Validate(program, &info).ok());
+  EXPECT_TRUE(info.IsDerived(symbols.Lookup("anc")));
+  EXPECT_TRUE(info.IsBase(symbols.Lookup("par")));
+  EXPECT_EQ(info.arity.at(symbols.Lookup("anc")), 2);
+}
+
+TEST(ValidateTest, ArityMismatchRejected) {
+  SymbolTable symbols;
+  Program program =
+      ParseOrDie("p(X) :- q(X).\np(X, Y) :- q(X), q(Y).\n", &symbols);
+  ProgramInfo info;
+  Status status = Validate(program, &info);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("arities"), std::string::npos);
+}
+
+TEST(ValidateTest, UnsafeRuleRejected) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("p(X, Y) :- q(X).\n", &symbols);
+  ProgramInfo info;
+  Status status = Validate(program, &info);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("range-restricted"), std::string::npos);
+}
+
+TEST(ValidateTest, BasePredicateInHeadRejected) {
+  // The paper forbids base predicates (fact predicates) in rule heads.
+  SymbolTable symbols;
+  Program program = ParseOrDie("p(a, b).\np(X, Y) :- q(X, Y).\n", &symbols);
+  ProgramInfo info;
+  EXPECT_FALSE(Validate(program, &info).ok());
+}
+
+TEST(ValidateTest, ConstraintVarMustBeInBody) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("p(X) :- q(X).\n", &symbols);
+  HashConstraint c;
+  c.function = 0;
+  c.vars = {symbols.Intern("W")};  // not a body variable
+  c.target = 0;
+  program.rules[0].constraints.push_back(c);
+  ProgramInfo info;
+  EXPECT_FALSE(Validate(program, &info).ok());
+}
+
+TEST(ValidateTest, ValidConstraintAccepted) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("p(X) :- q(X).\n", &symbols);
+  HashConstraint c;
+  c.function = 0;
+  c.vars = {symbols.Lookup("X")};
+  c.target = 0;
+  program.rules[0].constraints.push_back(c);
+  ProgramInfo info;
+  EXPECT_TRUE(Validate(program, &info).ok());
+}
+
+TEST(ValidateTest, MissingSymbolTableRejected) {
+  Program program;
+  ProgramInfo info;
+  EXPECT_FALSE(Validate(program, &info).ok());
+}
+
+TEST(ValidateTest, PredicatesListedInFirstAppearanceOrder) {
+  SymbolTable symbols;
+  Program program = ParseOrDie(
+      "a(X) :- b(X), c(X).\n"
+      "d(x0).\n",
+      &symbols);
+  ProgramInfo info;
+  ASSERT_TRUE(Validate(program, &info).ok());
+  ASSERT_EQ(info.predicates.size(), 4u);
+  EXPECT_EQ(symbols.Name(info.predicates[0]), "a");
+  EXPECT_EQ(symbols.Name(info.predicates[1]), "b");
+  EXPECT_EQ(symbols.Name(info.predicates[2]), "c");
+  EXPECT_EQ(symbols.Name(info.predicates[3]), "d");
+}
+
+TEST(ValidateTest, PurelyExtensionalProgram) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("p(a).\np(b).\n", &symbols);
+  ProgramInfo info;
+  ASSERT_TRUE(Validate(program, &info).ok());
+  EXPECT_TRUE(info.derived.empty());
+  EXPECT_EQ(info.base.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdatalog

@@ -1,0 +1,151 @@
+#include "core/wire.h"
+
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/generators.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::AncestorScheme;
+using testing_util::DumpOutput;
+using testing_util::MakeAncestorBundle;
+using testing_util::MakeAncestorSetup;
+using testing_util::SequentialAncestor;
+
+TEST(WireTest, MessageRoundTrip) {
+  Message in{42, Tuple{1, 2, 3}};
+  std::vector<uint8_t> bytes;
+  EncodeMessage(in, &bytes);
+  EXPECT_EQ(bytes.size(), in.WireBytes());
+  size_t offset = 0;
+  StatusOr<Message> out = DecodeMessage(bytes, &offset);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->predicate, 42u);
+  EXPECT_EQ(out->tuple, (Tuple{1, 2, 3}));
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(WireTest, ZeroArityMessage) {
+  Message in{7, Tuple{}};
+  std::vector<uint8_t> bytes;
+  EncodeMessage(in, &bytes);
+  size_t offset = 0;
+  StatusOr<Message> out = DecodeMessage(bytes, &offset);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tuple.arity(), 0);
+}
+
+TEST(WireTest, LargeValuesSurvive) {
+  Message in{0xffffffffu, Tuple{0xdeadbeefu, 0, 0x7fffffffu}};
+  std::vector<uint8_t> bytes;
+  EncodeMessage(in, &bytes);
+  size_t offset = 0;
+  StatusOr<Message> out = DecodeMessage(bytes, &offset);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->predicate, 0xffffffffu);
+  EXPECT_EQ(out->tuple[0], 0xdeadbeefu);
+}
+
+TEST(WireTest, BatchRoundTrip) {
+  std::vector<Message> batch;
+  for (Value i = 0; i < 50; ++i) {
+    batch.push_back(Message{i % 3, Tuple{i, i + 1}});
+  }
+  std::vector<uint8_t> bytes = EncodeBatch(batch);
+  StatusOr<std::vector<Message>> out = DecodeBatch(bytes);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*out)[i].predicate, batch[i].predicate);
+    EXPECT_EQ((*out)[i].tuple, batch[i].tuple);
+  }
+}
+
+TEST(WireTest, TruncatedInputRejected) {
+  Message in{1, Tuple{9, 8, 7}};
+  std::vector<uint8_t> bytes;
+  EncodeMessage(in, &bytes);
+  for (size_t cut = 1; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    size_t offset = 0;
+    EXPECT_FALSE(DecodeMessage(truncated, &offset).ok()) << "cut " << cut;
+  }
+}
+
+TEST(WireTest, GarbageArityRejected) {
+  std::vector<uint8_t> bytes = {0, 0, 0, 0, 0xff, 0xff};  // arity 65535
+  size_t offset = 0;
+  EXPECT_FALSE(DecodeMessage(bytes, &offset).ok());
+}
+
+TEST(WireTest, SerializedChannelRoundTrip) {
+  Channel channel;
+  std::vector<uint8_t> bytes;
+  EncodeMessage(Message{5, Tuple{1, 2}}, &bytes);
+  channel.SendBytes(bytes);
+  EXPECT_TRUE(channel.HasPending());
+  EXPECT_EQ(channel.total_sent(), 1u);
+  EXPECT_EQ(channel.total_bytes(), bytes.size());
+  std::vector<std::vector<uint8_t>> out;
+  EXPECT_EQ(channel.DrainBytes(&out), 1u);
+  EXPECT_FALSE(channel.HasPending());
+}
+
+class SerializedEngineTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndRoundRobin, SerializedEngineTest,
+                         ::testing::Values(false, true));
+
+TEST_P(SerializedEngineTest, MessagePassingModeMatchesSharedMemory) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 9);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+
+  for (AncestorScheme scheme :
+       {AncestorScheme::kExample2, AncestorScheme::kExample3}) {
+    RewriteBundle bundle = MakeAncestorBundle(setup.get(), scheme, 4);
+    ParallelOptions options;
+    options.use_threads = GetParam();
+    options.serialize_messages = true;
+    StatusOr<ParallelResult> result =
+        RunParallel(bundle, &setup->edb, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected)
+        << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+TEST(SerializedEngineTest, GeneralSchemeUnderMessagePassing) {
+  SymbolTable symbols;
+  Program program = testing_util::ParseOrDie(
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- anc(X, Z), anc(Z, Y).\n",
+      &symbols);
+  ProgramInfo info = testing_util::ValidateOrDie(program);
+  std::vector<GeneralRuleSpec> specs(2);
+  specs[0].vars = {symbols.Intern("Y")};
+  specs[0].h = DiscriminatingFunction::UniformHash(3);
+  specs[1].vars = {symbols.Intern("Z")};
+  specs[1].h = DiscriminatingFunction::UniformHash(3);
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 3, specs);
+  ASSERT_TRUE(bundle.ok());
+
+  Database seq_db;
+  GenRandomGraph(&symbols, &seq_db, "par", 20, 40, 10);
+  EvalStats seq;
+  ASSERT_TRUE(SemiNaiveEvaluate(program, info, &seq_db, &seq).ok());
+
+  Database edb;
+  GenRandomGraph(&symbols, &edb, "par", 20, 40, 10);
+  ParallelOptions options;
+  options.serialize_messages = true;
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(
+      result->output.Find(symbols.Lookup("anc"))->ToSortedString(symbols),
+      seq_db.Find(symbols.Lookup("anc"))->ToSortedString(symbols));
+}
+
+}  // namespace
+}  // namespace pdatalog
