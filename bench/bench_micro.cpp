@@ -32,8 +32,10 @@ void BM_IndexProbe(benchmark::State& state) {
   Value key = 0;
   size_t hits = 0;
   for (auto _ : state) {
-    const std::vector<uint32_t>* ids = index.Lookup(Tuple{key % 97});
-    if (ids != nullptr) hits += ids->size();
+    Value k = key % 97;
+    ColumnIndex::Probe probe = index.ProbeRange(&k, 1, 0, rel.size());
+    uint32_t id = 0;
+    while (probe.Next(&id)) ++hits;
     ++key;
   }
   benchmark::DoNotOptimize(hits);

@@ -9,12 +9,14 @@
 // communication).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace pdatalog;
 using bench::AncestorHarness;
 
 int main() {
+  bench::BenchJson json("scaling");
   std::printf(
       "EXP-7: scaling with processors (ancestor, Example 3 scheme).\n"
       "paper: qualitative only; expectation: per-processor work shrinks\n"
@@ -56,6 +58,16 @@ int main() {
            TextTable::Cell(cheap == 0 ? 0.0 : seq_work / cheap, 2),
            TextTable::Cell(costly == 0 ? 0.0 : seq_work / costly, 2),
            TextTable::Cell(r.wall_seconds * 1e3, 1)});
+      json.NewRecord()
+          .Set("topology", topology)
+          .Set("processors", P)
+          .Set("max_firings", max_firings)
+          .Set("mean_firings", mean)
+          .Set("imbalance", imbalance)
+          .Set("cross_msgs", r.cross_tuples)
+          .Set("speedup_net0", cheap == 0 ? 0.0 : seq_work / cheap)
+          .Set("speedup_net4", costly == 0 ? 0.0 : seq_work / costly)
+          .Set("wall_ms", r.wall_seconds * 1e3);
     }
     table.Print();
     std::printf("\n");
@@ -68,5 +80,6 @@ int main() {
       "which is the architecture-dependent crossover Section 8\n"
       "anticipates. Wall time is reported for completeness only (the\n"
       "container is single-core; threads cannot run concurrently).\n");
+  json.WriteFile();
   return 0;
 }

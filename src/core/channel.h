@@ -39,10 +39,12 @@ class Channel {
   }
 
   // Appends a whole batch under one lock acquisition. The workers
-  // buffer per-destination messages within a round and flush once.
+  // buffer per-destination messages within a round and flush once
+  // (`batch` keeps its capacity for the next round).
   void SendBatch(std::vector<Message>* batch) {
     if (batch->empty()) return;
     std::lock_guard<std::mutex> lock(mutex_);
+    queue_.reserve(queue_.size() + batch->size());
     for (Message& m : *batch) {
       total_bytes_ += m.WireBytes();
       queue_.push_back(std::move(m));
@@ -56,6 +58,7 @@ class Channel {
   size_t Drain(std::vector<Message>* out) {
     std::lock_guard<std::mutex> lock(mutex_);
     size_t n = queue_.size();
+    out->reserve(out->size() + n);
     for (Message& m : queue_) out->push_back(std::move(m));
     queue_.clear();
     return n;
@@ -73,6 +76,7 @@ class Channel {
   size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) {
     std::lock_guard<std::mutex> lock(mutex_);
     size_t n = byte_queue_.size();
+    out->reserve(out->size() + n);
     for (auto& b : byte_queue_) out->push_back(std::move(b));
     byte_queue_.clear();
     return n;

@@ -103,6 +103,12 @@ Status Worker::Setup() {
 
   send_buffers_.resize(num_processors_);
 
+  // Precompile the sending rules: per-predicate routing tables with
+  // resolved variable positions and flattened pattern checks, so
+  // SendTuple never re-scans the spec list.
+  router_ = TupleRouter(bundle_->sends[id_], num_processors_,
+                        bundle_->registry.get());
+
   // Indexes on static sources (fragments and empty locals); shared EDB
   // relations are pre-indexed by the engine before workers start.
   for (const auto& [pred, mask] : compiled_.required_indexes()) {
@@ -152,10 +158,10 @@ void Worker::Init() {
     }
     JoinExecutor::Execute(
         variants.full, inputs, bundle_->registry.get(),
-        [&](const Tuple& t) {
-          if (head_rel->Insert(t)) ++stats_.out_inserted;
+        [&](const Value* values, int n) {
+          if (head_rel->InsertView(values, n)) ++stats_.out_inserted;
         },
-        &es);
+        &es, &join_scratch_);
   }
   stats_.firings += es.firings;
   stats_.rows_examined += es.rows_examined;
@@ -182,13 +188,17 @@ size_t Worker::DrainChannels() {
     total += network_->channel(j, id_).Drain(&drain_buffer_);
     if (serialize_messages_) {
       byte_buffer_.clear();
-      total += network_->channel(j, id_).DrainBytes(&byte_buffer_);
+      network_->channel(j, id_).DrainBytes(&byte_buffer_);
+      // Count decoded messages, not drained byte-vectors: a vector may
+      // carry several encoded messages, and the termination detector's
+      // receive counter must agree with the per-message send counter.
       for (const std::vector<uint8_t>& bytes : byte_buffer_) {
         size_t offset = 0;
         while (offset < bytes.size()) {
           StatusOr<Message> m = DecodeMessage(bytes, &offset);
           assert(m.ok());
           drain_buffer_.push_back(std::move(*m));
+          ++total;
         }
       }
     }
@@ -252,10 +262,10 @@ void Worker::ProcessRound() {
       if (empty_delta) continue;
       JoinExecutor::Execute(
           delta_rule, inputs, bundle_->registry.get(),
-          [&](const Tuple& t) {
-            if (head_rel->Insert(t)) ++stats_.out_inserted;
+          [&](const Value* values, int n) {
+            if (head_rel->InsertView(values, n)) ++stats_.out_inserted;
           },
-          &es);
+          &es, &join_scratch_);
     }
   }
   stats_.firings += es.firings;
@@ -285,52 +295,13 @@ void Worker::FlushSends() {
 }
 
 void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
-  // Destinations across all sending rules for this predicate, deduped:
-  // the channel predicate t_ij is a set, so a tuple travels each channel
-  // at most once no matter how many sending rules select it.
+  // Destinations across all sending rules for this predicate, deduped
+  // by the router's round stamps: the channel predicate t_ij is a set,
+  // so a tuple travels each channel at most once no matter how many
+  // sending rules select it.
   dests_.clear();
-  auto add_dest = [&](int d) {
-    if (std::find(dests_.begin(), dests_.end(), d) == dests_.end()) {
-      dests_.push_back(d);
-    }
-  };
-
-  for (const SendSpec& spec : bundle_->sends[id_]) {
-    if (spec.predicate != pred) continue;
-    // Match the tuple against the recursive-atom pattern.
-    bool match = true;
-    const Atom& pat = spec.pattern;
-    for (int c = 0; c < pat.arity() && match; ++c) {
-      const Term& term = pat.args[c];
-      if (term.is_const()) {
-        if (tuple[c] != term.sym) match = false;
-      } else {
-        for (int c2 = 0; c2 < c; ++c2) {
-          if (pat.args[c2].is_var() && pat.args[c2].sym == term.sym &&
-              tuple[c2] != tuple[c]) {
-            match = false;
-            break;
-          }
-        }
-      }
-    }
-    if (!match) continue;  // cannot fire anyone's processing rule
-
-    if (spec.determined) {
-      Value vals[32];
-      for (size_t k = 0; k < spec.var_positions.size(); ++k) {
-        vals[k] = tuple[spec.var_positions[k]];
-      }
-      int dest = bundle_->registry->Evaluate(
-          spec.function, vals, static_cast<int>(spec.var_positions.size()));
-      assert(dest >= 0 && dest < num_processors_);
-      add_dest(dest);
-    } else {
-      // Example 2: the sender cannot evaluate h(v(r)); broadcast.
-      ++stats_.broadcasts;
-      for (int j = 0; j < num_processors_; ++j) add_dest(j);
-    }
-  }
+  stats_.broadcasts +=
+      static_cast<uint64_t>(router_.Route(pred, tuple, &dests_));
 
   for (int dest : dests_) {
     detector_->CountSend(id_, 1);

@@ -12,6 +12,7 @@
 #include "core/channel.h"
 #include "core/partition.h"
 #include "core/rewrite.h"
+#include "core/routing.h"
 #include "core/termination.h"
 #include "eval/seminaive.h"
 #include "storage/database.h"
@@ -117,7 +118,11 @@ class Worker {
   std::unordered_map<Symbol, size_t> out_sent_end_; // by t_out symbol
 
   std::vector<Message> drain_buffer_;
+  // Precompiled sending rules (pattern checks + routing positions per
+  // predicate; see core/routing.h), built once in Setup().
+  TupleRouter router_;
   std::vector<int> dests_;  // scratch for SendTuple
+  JoinScratch join_scratch_;
   WorkerStats stats_;
   std::vector<RoundLog> round_logs_;
   RoundLog* current_log_ = nullptr;  // active during Init/ProcessRound

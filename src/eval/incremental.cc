@@ -54,10 +54,10 @@ StatusOr<EvalStats> IncrementalEvaluator::Evaluate() {
       Relation* head_rel = db_.Find(rule.head.predicate);
       JoinExecutor::Execute(
           compiled_.rules()[r].full, {}, nullptr,
-          [&](const Tuple& t) {
-            if (head_rel->Insert(t)) ++batch.tuples_inserted;
+          [&](const Value* values, int n) {
+            if (head_rel->InsertView(values, n)) ++batch.tuples_inserted;
           },
-          &exec);
+          &exec, &scratch_);
     }
   }
 
@@ -98,10 +98,10 @@ StatusOr<EvalStats> IncrementalEvaluator::Evaluate() {
         if (empty_delta) continue;
         JoinExecutor::Execute(
             delta_rule, inputs, nullptr,
-            [&](const Tuple& t) {
-              if (head_rel->Insert(t)) ++batch.tuples_inserted;
+            [&](const Value* values, int n) {
+              if (head_rel->InsertView(values, n)) ++batch.tuples_inserted;
             },
-            &exec);
+            &exec, &scratch_);
       }
     }
 

@@ -50,6 +50,7 @@ class IncrementalEvaluator {
     size_t cur_end = 0;
   };
   std::unordered_map<Symbol, Watermark> marks_;
+  JoinScratch scratch_;
   EvalStats stats_;
   bool first_run_ = true;
 };

@@ -12,6 +12,7 @@ Status NaiveEvaluate(const Program& program, const ProgramInfo& info,
   }
 
   ExecStats exec_stats;
+  JoinScratch scratch;
   bool grew = true;
   while (grew) {
     grew = false;
@@ -34,13 +35,13 @@ Status NaiveEvaluate(const Program& program, const ProgramInfo& info,
       }
       JoinExecutor::Execute(compiled->rules()[r].full, inputs,
                             /*constraint_eval=*/nullptr,
-                            [&](const Tuple& t) {
-                              if (head_rel->Insert(t)) {
+                            [&](const Value* values, int n) {
+                              if (head_rel->InsertView(values, n)) {
                                 ++stats->tuples_inserted;
                                 grew = true;
                               }
                             },
-                            &exec_stats);
+                            &exec_stats, &scratch);
     }
   }
 

@@ -260,131 +260,13 @@ std::string CompiledRule::DebugString(const SymbolTable& symbols) const {
   return out;
 }
 
-namespace {
-
-// Recursive nested-loop/index join over the compiled steps.
-class Runner {
- public:
-  Runner(const CompiledRule& compiled, const std::vector<AtomInput>& inputs,
-         const ConstraintEvaluator* constraint_eval,
-         const std::function<void(const Tuple&)>& sink, ExecStats* stats)
-      : compiled_(compiled),
-        inputs_(inputs),
-        constraint_eval_(constraint_eval),
-        sink_(sink),
-        stats_(stats),
-        bindings_(compiled.num_vars()) {}
-
-  void Run() { Step(0); }
-
- private:
-  void Step(size_t step_no) {
-    if (step_no == compiled_.steps().size()) {
-      Fire();
-      return;
-    }
-    const PlanStep& step = compiled_.steps()[step_no];
-    const AtomInput& input = inputs_[step.body_index];
-    const Relation& rel = *input.relation;
-
-    if (step.index_mask != 0) {
-      // Probe the index on the bound columns.
-      Value key_buf[32];
-      int kn = 0;
-      for (size_t c = 0; c < step.positions.size(); ++c) {
-        if (!(step.index_mask & (1u << c))) continue;
-        const PlanPos& pos = step.positions[c];
-        key_buf[kn++] = pos.kind == PlanPos::Kind::kConst
-                            ? pos.value
-                            : bindings_[pos.var];
-      }
-      const ColumnIndex* index = rel.GetIndex(step.index_mask);
-      assert(index != nullptr &&
-             "index missing; evaluator must EnsureIndex first");
-      // The index may lag behind rows appended after the evaluator froze
-      // this round's scan bounds, but it must cover the probed range.
-      assert(index->built_upto() >= input.end);
-      const std::vector<uint32_t>* ids = index->Lookup(Tuple(key_buf, kn));
-      if (ids == nullptr) return;
-      auto lo = std::lower_bound(ids->begin(), ids->end(),
-                                 static_cast<uint32_t>(input.begin));
-      auto hi = std::lower_bound(ids->begin(), ids->end(),
-                                 static_cast<uint32_t>(input.end));
-      for (auto it = lo; it != hi; ++it) {
-        TryRow(step_no, step, rel.row(*it));
-      }
-    } else {
-      for (size_t i = input.begin; i < input.end; ++i) {
-        TryRow(step_no, step, rel.row(i));
-      }
-    }
-  }
-
-  void TryRow(size_t step_no, const PlanStep& step, const Tuple& row) {
-    ++stats_->rows_examined;
-    // Verify non-key positions and bind fresh variables.
-    for (size_t c = 0; c < step.positions.size(); ++c) {
-      const PlanPos& pos = step.positions[c];
-      switch (pos.kind) {
-        case PlanPos::Kind::kConst:
-          if (!(step.index_mask & (1u << c)) && row[c] != pos.value) return;
-          break;
-        case PlanPos::Kind::kBound:
-          if (!(step.index_mask & (1u << c)) && row[c] != bindings_[pos.var])
-            return;
-          break;
-        case PlanPos::Kind::kFree:
-          bindings_[pos.var] = row[c];
-          break;
-      }
-    }
-    // Check constraints that just became fully bound.
-    for (int ci : step.constraints_ready) {
-      if (!CheckConstraint(ci)) return;
-    }
-    Step(step_no + 1);
-  }
-
-  bool CheckConstraint(int ci) {
-    const HashConstraint& c = compiled_.rule().constraints[ci];
-    const std::vector<int>& ids = compiled_.constraint_var_ids()[ci];
-    Value vals[32];
-    for (size_t i = 0; i < ids.size(); ++i) vals[i] = bindings_[ids[i]];
-    assert(constraint_eval_ != nullptr);
-    return constraint_eval_->Evaluate(c.function, vals,
-                                      static_cast<int>(ids.size())) ==
-           c.target;
-  }
-
-  void Fire() {
-    const auto& recipe = compiled_.head_recipe();
-    Value buf[32];
-    for (size_t c = 0; c < recipe.size(); ++c) {
-      buf[c] = recipe[c].kind == PlanPos::Kind::kConst
-                   ? recipe[c].value
-                   : bindings_[recipe[c].var];
-    }
-    ++stats_->firings;
-    sink_(Tuple(buf, static_cast<int>(recipe.size())));
-  }
-
-  const CompiledRule& compiled_;
-  const std::vector<AtomInput>& inputs_;
-  const ConstraintEvaluator* constraint_eval_;
-  const std::function<void(const Tuple&)>& sink_;
-  ExecStats* stats_;
-  std::vector<Value> bindings_;
-};
-
-}  // namespace
-
 void JoinExecutor::Execute(const CompiledRule& compiled,
                            const std::vector<AtomInput>& inputs,
                            const ConstraintEvaluator* constraint_eval,
                            const std::function<void(const Tuple&)>& sink,
                            ExecStats* stats) {
-  assert(inputs.size() == compiled.rule().body.size());
-  Runner(compiled, inputs, constraint_eval, sink, stats).Run();
+  Execute(compiled, inputs, constraint_eval,
+          [&sink](const Tuple& t) { sink(t); }, stats);
 }
 
 }  // namespace pdatalog

@@ -12,14 +12,22 @@
 // delta variants and the parallel workers' local relations reuse one
 // compilation path.
 //
+// `JoinExecutor::Execute` is a template over the sink callable so the
+// per-firing dispatch inlines; a `std::function` overload remains for
+// callers that don't sit on a hot path. Probes go through
+// `ColumnIndex::ProbeRange`, which hashes the bound values in place —
+// the probe path performs no heap allocation.
+//
 // Hash constraints (the paper's `h(v(r)) = i` conjuncts) are checked as
 // soon as all their variables are bound, through a ConstraintEvaluator
 // supplied by the caller (the discriminating-function registry in core/).
 #ifndef PDATALOG_EVAL_PLAN_H_
 #define PDATALOG_EVAL_PLAN_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "datalog/ast.h"
@@ -108,7 +116,8 @@ class CompiledRule {
   std::vector<std::vector<int>> constraint_var_ids_;
   std::vector<std::pair<Symbol, uint32_t>> required_indexes_;
 
-  friend class JoinExecutor;
+  template <typename Sink>
+  friend class JoinRunner;
 };
 
 // One body atom's data source for a particular execution.
@@ -128,13 +137,161 @@ struct ExecStats {
   uint64_t rows_examined = 0;
 };
 
+// Reusable per-caller scratch: holds the variable binding buffer so
+// repeated Execute() calls (one per rule variant per round) don't
+// reallocate it. A default-constructed scratch works for any rule.
+struct JoinScratch {
+  std::vector<Value> bindings;
+};
+
+// Recursive nested-loop/index join over the compiled steps, templated
+// over the sink so firings dispatch without std::function indirection.
+// The sink is invoked either as sink(const Value*, int) — the raw head
+// values, valid only during the call — or as sink(const Tuple&) if it
+// only accepts tuples.
+template <typename Sink>
+class JoinRunner {
+ public:
+  JoinRunner(const CompiledRule& compiled, const std::vector<AtomInput>& inputs,
+             const ConstraintEvaluator* constraint_eval, Sink& sink,
+             ExecStats* stats, std::vector<Value>* bindings)
+      : compiled_(compiled),
+        inputs_(inputs),
+        constraint_eval_(constraint_eval),
+        sink_(sink),
+        stats_(stats),
+        bindings_(*bindings) {
+    bindings_.resize(compiled.num_vars());
+  }
+
+  void Run() { Step(0); }
+
+ private:
+  void Step(size_t step_no) {
+    if (step_no == compiled_.steps_.size()) {
+      Fire();
+      return;
+    }
+    const PlanStep& step = compiled_.steps_[step_no];
+    const AtomInput& input = inputs_[step.body_index];
+    const Relation& rel = *input.relation;
+
+    if (step.index_mask != 0) {
+      // Probe the index on the bound columns; the key values are hashed
+      // in place (no Tuple is built).
+      Value key_buf[32];
+      int kn = 0;
+      for (size_t c = 0; c < step.positions.size(); ++c) {
+        if (!(step.index_mask & (1u << c))) continue;
+        const PlanPos& pos = step.positions[c];
+        key_buf[kn++] = pos.kind == PlanPos::Kind::kConst
+                            ? pos.value
+                            : bindings_[pos.var];
+      }
+      const ColumnIndex* index = rel.GetIndex(step.index_mask);
+      assert(index != nullptr &&
+             "index missing; evaluator must EnsureIndex first");
+      // The index may lag behind rows appended after the evaluator froze
+      // this round's scan bounds, but it must cover the probed range.
+      assert(index->built_upto() >= input.end);
+      ColumnIndex::Probe probe =
+          index->ProbeRange(key_buf, kn, input.begin, input.end);
+      uint32_t row_id;
+      while (probe.Next(&row_id)) {
+        TryRow(step_no, step, rel.row(row_id));
+      }
+    } else {
+      for (size_t i = input.begin; i < input.end; ++i) {
+        TryRow(step_no, step, rel.row(i));
+      }
+    }
+  }
+
+  void TryRow(size_t step_no, const PlanStep& step, const Tuple& row) {
+    ++stats_->rows_examined;
+    // Verify non-key positions and bind fresh variables.
+    for (size_t c = 0; c < step.positions.size(); ++c) {
+      const PlanPos& pos = step.positions[c];
+      switch (pos.kind) {
+        case PlanPos::Kind::kConst:
+          if (!(step.index_mask & (1u << c)) && row[c] != pos.value) return;
+          break;
+        case PlanPos::Kind::kBound:
+          if (!(step.index_mask & (1u << c)) && row[c] != bindings_[pos.var])
+            return;
+          break;
+        case PlanPos::Kind::kFree:
+          bindings_[pos.var] = row[c];
+          break;
+      }
+    }
+    // Check constraints that just became fully bound.
+    for (int ci : step.constraints_ready) {
+      if (!CheckConstraint(ci)) return;
+    }
+    Step(step_no + 1);
+  }
+
+  bool CheckConstraint(int ci) {
+    const HashConstraint& c = compiled_.rule_.constraints[ci];
+    const std::vector<int>& ids = compiled_.constraint_var_ids_[ci];
+    Value vals[32];
+    for (size_t i = 0; i < ids.size(); ++i) vals[i] = bindings_[ids[i]];
+    assert(constraint_eval_ != nullptr);
+    return constraint_eval_->Evaluate(c.function, vals,
+                                      static_cast<int>(ids.size())) ==
+           c.target;
+  }
+
+  void Fire() {
+    const auto& recipe = compiled_.head_recipe_;
+    Value buf[32];
+    for (size_t c = 0; c < recipe.size(); ++c) {
+      buf[c] = recipe[c].kind == PlanPos::Kind::kConst
+                   ? recipe[c].value
+                   : bindings_[recipe[c].var];
+    }
+    ++stats_->firings;
+    int n = static_cast<int>(recipe.size());
+    if constexpr (std::is_invocable_v<Sink&, const Value*, int>) {
+      sink_(static_cast<const Value*>(buf), n);
+    } else {
+      sink_(Tuple(buf, n));
+    }
+  }
+
+  const CompiledRule& compiled_;
+  const std::vector<AtomInput>& inputs_;
+  const ConstraintEvaluator* constraint_eval_;
+  Sink& sink_;
+  ExecStats* stats_;
+  std::vector<Value>& bindings_;
+};
+
 // Executes a compiled rule.
 class JoinExecutor {
  public:
   // `inputs[i]` feeds the rule's body atom i (original body order).
   // `constraint_eval` may be null iff the rule has no constraints.
-  // `sink` is called once per successful firing with the instantiated
-  // head tuple; it returns void and may deduplicate internally.
+  // `sink` is called once per successful firing, either with
+  // (const Value* values, int arity) — preferred, allocation-free — or
+  // with the instantiated head `Tuple` if that's all it accepts. It may
+  // deduplicate internally. `scratch`, when supplied, carries the
+  // binding buffer across calls.
+  template <typename Sink>
+  static void Execute(const CompiledRule& compiled,
+                      const std::vector<AtomInput>& inputs,
+                      const ConstraintEvaluator* constraint_eval, Sink&& sink,
+                      ExecStats* stats, JoinScratch* scratch = nullptr) {
+    assert(inputs.size() == compiled.rule().body.size());
+    JoinScratch local;
+    JoinScratch* s = scratch != nullptr ? scratch : &local;
+    JoinRunner<std::remove_reference_t<Sink>> runner(
+        compiled, inputs, constraint_eval, sink, stats, &s->bindings);
+    runner.Run();
+  }
+
+  // Type-erased convenience for cold callers and existing tests.
   static void Execute(const CompiledRule& compiled,
                       const std::vector<AtomInput>& inputs,
                       const ConstraintEvaluator* constraint_eval,

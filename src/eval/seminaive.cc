@@ -100,6 +100,7 @@ Status SemiNaiveEvaluate(const Program& program, const ProgramInfo& info,
   for (Symbol p : info.derived) marks.emplace(p, Watermark{});
 
   ExecStats exec_stats;
+  JoinScratch scratch;
 
   auto ensure_indexes = [&] {
     for (const auto& [pred, mask] : compiled->required_indexes()) {
@@ -108,8 +109,8 @@ Status SemiNaiveEvaluate(const Program& program, const ProgramInfo& info,
   };
 
   auto make_sink = [&](Relation* rel) {
-    return [rel, stats](const Tuple& t) {
-      if (rel->Insert(t)) ++stats->tuples_inserted;
+    return [rel, stats](const Value* values, int n) {
+      if (rel->InsertView(values, n)) ++stats->tuples_inserted;
     };
   };
 
@@ -126,7 +127,7 @@ Status SemiNaiveEvaluate(const Program& program, const ProgramInfo& info,
       inputs[i] = AtomInput{rel, 0, rel->size()};
     }
     JoinExecutor::Execute(variants.full, inputs, constraint_eval,
-                          make_sink(head_rel), &exec_stats);
+                          make_sink(head_rel), &exec_stats, &scratch);
   }
   stats->rounds = 1;
   for (auto& [p, mark] : marks) {
@@ -173,7 +174,7 @@ Status SemiNaiveEvaluate(const Program& program, const ProgramInfo& info,
         }
         if (empty_delta) continue;
         JoinExecutor::Execute(delta_rule, inputs, constraint_eval,
-                              make_sink(head_rel), &exec_stats);
+                              make_sink(head_rel), &exec_stats, &scratch);
       }
     }
 

@@ -3,14 +3,56 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 
 namespace pdatalog {
 
-ColumnIndex::ColumnIndex(uint32_t mask, int arity) : mask_(mask) {
+ColumnIndex::ColumnIndex(uint32_t mask, int arity,
+                         const std::vector<Tuple>* rows)
+    : mask_(mask), rows_(rows) {
   for (int c = 0; c < arity; ++c) {
     if (mask & (1u << c)) key_columns_.push_back(c);
   }
   assert(std::popcount(mask) == static_cast<int>(key_columns_.size()));
+}
+
+uint64_t ColumnIndex::HashRow(const Tuple& row) const {
+  uint64_t h = 0x12345678u ^ static_cast<uint64_t>(key_columns_.size());
+  for (int c : key_columns_) h = HashCombine(h, row[c]);
+  return h;
+}
+
+bool ColumnIndex::KeyEquals(const Bucket& bucket, const Value* key,
+                            int n) const {
+  const Tuple& rep = (*rows_)[pool_[bucket.head_chunk].rows[0]];
+  for (int i = 0; i < n; ++i) {
+    if (rep[key_columns_[i]] != key[i]) return false;
+  }
+  return true;
+}
+
+uint32_t ColumnIndex::FindBucket(uint64_t hash, const Value* key,
+                                 int n) const {
+  if (slots_.empty()) return kNoBucket;
+  uint64_t i = hash & slot_mask_;
+  while (true) {
+    uint32_t slot = slots_[i];
+    if (slot == 0) return kNoBucket;
+    const Bucket& bucket = buckets_[slot - 1];
+    if (bucket.hash == hash && KeyEquals(bucket, key, n)) return slot - 1;
+    i = (i + 1) & slot_mask_;
+  }
+}
+
+void ColumnIndex::GrowSlots() {
+  size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  slots_.assign(cap, 0);
+  slot_mask_ = cap - 1;
+  for (uint32_t b = 0; b < buckets_.size(); ++b) {
+    uint64_t i = buckets_[b].hash & slot_mask_;
+    while (slots_[i] != 0) i = (i + 1) & slot_mask_;
+    slots_[i] = b + 1;
+  }
 }
 
 Tuple ColumnIndex::MakeKey(const Tuple& row) const {
@@ -22,30 +64,102 @@ Tuple ColumnIndex::MakeKey(const Tuple& row) const {
   return Tuple(buf, static_cast<int>(key_columns_.size()));
 }
 
-const std::vector<uint32_t>* ColumnIndex::Lookup(const Tuple& key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? nullptr : &it->second;
+ColumnIndex::Probe ColumnIndex::ProbeRange(const Value* key, int n,
+                                           size_t begin, size_t end) const {
+  assert(n == static_cast<int>(key_columns_.size()));
+  Probe probe;
+  probe.index_ = this;
+  probe.begin_ = static_cast<uint32_t>(begin);
+  probe.end_ = static_cast<uint32_t>(end);
+  uint32_t bucket = FindBucket(HashProjection(key, n), key, n);
+  probe.chunk_ = bucket == kNoBucket ? kNoChunk : buckets_[bucket].head_chunk;
+  return probe;
 }
 
 void ColumnIndex::Add(const Tuple& row, uint32_t row_id) {
-  map_[MakeKey(row)].push_back(row_id);
+  Value key[32];
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    key[i] = row[key_columns_[i]];
+  }
+  int n = static_cast<int>(key_columns_.size());
+  uint64_t hash = HashProjection(key, n);
+  uint32_t bucket_id = FindBucket(hash, key, n);
+  if (bucket_id == kNoBucket) {
+    // Resize at 3/4 load before inserting the new bucket.
+    if ((buckets_.size() + 1) * 4 > slots_.size() * 3) GrowSlots();
+    bucket_id = static_cast<uint32_t>(buckets_.size());
+    uint32_t chunk_id = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
+    buckets_.push_back(Bucket{hash, chunk_id, chunk_id});
+    uint64_t i = hash & slot_mask_;
+    while (slots_[i] != 0) i = (i + 1) & slot_mask_;
+    slots_[i] = bucket_id + 1;
+  }
+  Bucket& bucket = buckets_[bucket_id];
+  Chunk* tail = &pool_[bucket.tail_chunk];
+  assert(tail->count == 0 || tail->rows[tail->count - 1] < row_id);
+  if (tail->count == kChunkRows) {
+    uint32_t chunk_id = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
+    pool_[bucket.tail_chunk].next = chunk_id;
+    bucket.tail_chunk = chunk_id;
+    tail = &pool_[chunk_id];
+  }
+  tail->rows[tail->count++] = row_id;
 }
 
-bool Relation::Insert(const Tuple& tuple) {
-  assert(tuple.arity() == arity_);
-  if (dedup_.find(tuple) != dedup_.end()) return false;
+bool Relation::InsertView(const Value* values, int n) {
+  assert(n == arity_);
+  uint64_t hash = HashProjection(values, n);
+  if (!dedup_.empty()) {
+    uint64_t i = hash & dedup_mask_;
+    while (true) {
+      const DedupSlot& slot = dedup_[i];
+      if (slot.row == kEmptySlot) break;
+      if (slot.hash == hash &&
+          std::memcmp(rows_[slot.row].data(), values,
+                      static_cast<size_t>(n) * sizeof(Value)) == 0) {
+        return false;
+      }
+      i = (i + 1) & dedup_mask_;
+    }
+  }
+  if ((rows_.size() + 1) * 4 > dedup_.size() * 3) GrowDedup();
   uint32_t id = static_cast<uint32_t>(rows_.size());
-  rows_.push_back(tuple);
-  dedup_.insert(RowRef{id});
+  rows_.emplace_back(values, n);
+  uint64_t i = hash & dedup_mask_;
+  while (dedup_[i].row != kEmptySlot) i = (i + 1) & dedup_mask_;
+  dedup_[i] = DedupSlot{hash, id};
   return true;
 }
 
+void Relation::GrowDedup() {
+  size_t cap = dedup_.empty() ? 16 : dedup_.size() * 2;
+  dedup_.assign(cap, DedupSlot{0, kEmptySlot});
+  dedup_mask_ = cap - 1;
+  for (uint32_t id = 0; id < rows_.size(); ++id) {
+    const Tuple& row = rows_[id];
+    uint64_t hash = HashProjection(row.data(), row.arity());
+    uint64_t i = hash & dedup_mask_;
+    while (dedup_[i].row != kEmptySlot) i = (i + 1) & dedup_mask_;
+    dedup_[i] = DedupSlot{hash, id};
+  }
+}
+
 bool Relation::Contains(const Tuple& tuple) const {
-  return dedup_.find(tuple) != dedup_.end();
+  if (dedup_.empty() || tuple.arity() != arity_) return false;
+  uint64_t hash = HashProjection(tuple.data(), tuple.arity());
+  uint64_t i = hash & dedup_mask_;
+  while (true) {
+    const DedupSlot& slot = dedup_[i];
+    if (slot.row == kEmptySlot) return false;
+    if (slot.hash == hash && rows_[slot.row] == tuple) return true;
+    i = (i + 1) & dedup_mask_;
+  }
 }
 
 const ColumnIndex& Relation::EnsureIndex(uint32_t mask) {
-  auto [it, inserted] = indexes_.try_emplace(mask, mask, arity_);
+  auto [it, inserted] = indexes_.try_emplace(mask, mask, arity_, &rows_);
   ColumnIndex& index = it->second;
   for (size_t i = index.built_upto(); i < rows_.size(); ++i) {
     index.Add(rows_[i], static_cast<uint32_t>(i));

@@ -6,6 +6,11 @@
 // round k occupy the contiguous row range [watermark_{k-1}, watermark_k).
 // Evaluators track watermarks; the relation itself is oblivious to them.
 //
+// Both the dedup set and the column indexes are open-addressing flat
+// hash tables keyed by hashes of raw column values, so neither inserts
+// nor probes ever materialize a key `Tuple`; equality checks read back
+// through the relation's own row storage.
+//
 // Thread-safety: a Relation is either worker-local (mutable, no locking
 // needed) or shared read-only across workers (base relations). For the
 // shared case, all needed indexes must be built before the parallel run
@@ -16,46 +21,134 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "storage/tuple.h"
+#include "util/hash.h"
 
 namespace pdatalog {
 
+// Hash of a value sequence; the one function the dedup set and every
+// column index agree on, so a probe can hash bound values in place and
+// match rows hashed column-by-column.
+inline uint64_t HashProjection(const Value* values, int n) {
+  uint64_t h = 0x12345678u ^ static_cast<uint64_t>(n);
+  for (int i = 0; i < n; ++i) h = HashCombine(h, values[i]);
+  return h;
+}
+
 // Hash index over a subset of columns, identified by a bit mask
-// (bit c set => column c is part of the key). Maps key projections to
-// ascending row ids.
+// (bit c set => column c is part of the key).
+//
+// Layout: an open-addressing slot array maps key hashes to buckets; each
+// bucket chains fixed-size chunks of ascending row ids through one
+// contiguous pool. Probes hash the bound values in place, verify the key
+// against a representative row, and walk the chunk chain — no `Tuple`
+// key is ever allocated, on insert or lookup.
 class ColumnIndex {
  public:
-  ColumnIndex(uint32_t mask, int arity);
+  // `rows` is the owning relation's row vector (for key equality checks);
+  // it must outlive the index and never relocate (Relation is pinned).
+  ColumnIndex(uint32_t mask, int arity, const std::vector<Tuple>* rows);
 
   uint32_t mask() const { return mask_; }
+  // Columns in the mask, ascending; probe keys use this order.
+  const std::vector<int>& key_columns() const { return key_columns_; }
 
-  // Row ids whose projection on the masked columns equals `key`
-  // (ascending). `key`'s arity must equal the mask's popcount.
-  const std::vector<uint32_t>* Lookup(const Tuple& key) const;
+  // Allocation-free cursor over the row ids matching one probe key,
+  // restricted to ids in [begin, end), yielded in ascending order.
+  class Probe {
+   public:
+    // Returns false when exhausted; otherwise stores the next row id.
+    bool Next(uint32_t* row_id) {
+      while (chunk_ != kNoChunk) {
+        const Chunk& c = index_->pool_[chunk_];
+        if (pos_ < c.count) {
+          uint32_t id = c.rows[pos_];
+          if (id >= end_) break;  // ids ascend: nothing later can match
+          ++pos_;
+          if (id < begin_) continue;
+          *row_id = id;
+          return true;
+        }
+        chunk_ = c.next;
+        pos_ = 0;
+        // Skip whole chunks below the range with one comparison each.
+        while (chunk_ != kNoChunk) {
+          const Chunk& n = index_->pool_[chunk_];
+          if (n.rows[n.count - 1] >= begin_) break;
+          chunk_ = n.next;
+        }
+      }
+      chunk_ = kNoChunk;
+      return false;
+    }
 
-  // Extracts the key projection of `row` for this index.
+   private:
+    friend class ColumnIndex;
+    const ColumnIndex* index_ = nullptr;
+    uint32_t chunk_ = kNoChunk;
+    uint32_t pos_ = 0;
+    uint32_t begin_ = 0;
+    uint32_t end_ = 0;
+  };
+
+  // Probes with `key` (values for key_columns(), in that order). Only
+  // row ids in [begin, end) are yielded; the caller must keep the range
+  // within built_upto().
+  Probe ProbeRange(const Value* key, int n, size_t begin, size_t end) const;
+
+  // Extracts the key projection of `row` (debugging/tests only; the
+  // probe path never materializes keys).
   Tuple MakeKey(const Tuple& row) const;
 
+  // Appends `row_id` (which must exceed every id already present) under
+  // `row`'s key projection.
   void Add(const Tuple& row, uint32_t row_id);
 
   size_t built_upto() const { return built_upto_; }
   void set_built_upto(size_t n) { built_upto_ = n; }
 
+  // Distinct keys present (for tests and stats).
+  size_t num_keys() const { return buckets_.size(); }
+
  private:
+  static constexpr uint32_t kNoChunk = 0xffffffffu;
+  static constexpr uint32_t kNoBucket = 0xffffffffu;
+  static constexpr int kChunkRows = 6;  // chunk = 32 bytes
+
+  struct Chunk {
+    uint32_t next = kNoChunk;
+    uint32_t count = 0;
+    uint32_t rows[kChunkRows];
+  };
+  struct Bucket {
+    uint64_t hash;
+    uint32_t head_chunk;
+    uint32_t tail_chunk;
+  };
+
+  uint64_t HashRow(const Tuple& row) const;
+  // True iff `key` equals the projection of the bucket's first row.
+  bool KeyEquals(const Bucket& bucket, const Value* key, int n) const;
+  uint32_t FindBucket(uint64_t hash, const Value* key, int n) const;
+  void GrowSlots();
+
   uint32_t mask_;
   std::vector<int> key_columns_;  // columns in the mask, ascending
   size_t built_upto_ = 0;         // rows [0, built_upto_) are indexed
-  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map_;
+  const std::vector<Tuple>* rows_;
+  std::vector<uint32_t> slots_;   // bucket id + 1; 0 = empty. 2^k sized
+  uint64_t slot_mask_ = 0;
+  std::vector<Bucket> buckets_;
+  std::vector<Chunk> pool_;       // all buckets' row ids, one pool
 };
 
 class Relation {
  public:
   explicit Relation(int arity) : arity_(arity) {}
-  // Not copyable or movable: the dedup table holds a pointer to rows_.
-  // Databases store relations behind unique_ptr.
+  // Not copyable or movable: the dedup table and indexes hold a pointer
+  // to rows_. Databases store relations behind unique_ptr.
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
 
@@ -64,7 +157,13 @@ class Relation {
   bool empty() const { return rows_.empty(); }
 
   // Inserts `tuple` if absent. Returns true iff it was new.
-  bool Insert(const Tuple& tuple);
+  bool Insert(const Tuple& tuple) {
+    return InsertView(tuple.data(), tuple.arity());
+  }
+
+  // Same, from a raw value sequence: duplicates are rejected without
+  // ever constructing a Tuple (the evaluator's firing hot path).
+  bool InsertView(const Value* values, int n);
 
   bool Contains(const Tuple& tuple) const;
 
@@ -85,37 +184,20 @@ class Relation {
   std::string ToSortedString(const SymbolTable& symbols) const;
 
  private:
-  struct RowRef {
-    uint32_t id;
-  };
-  struct RowHash {
-    const std::vector<Tuple>* rows;
-    using is_transparent = void;
-    size_t operator()(RowRef r) const {
-      return static_cast<size_t>((*rows)[r.id].Hash());
-    }
-    size_t operator()(const Tuple& t) const {
-      return static_cast<size_t>(t.Hash());
-    }
-  };
-  struct RowEq {
-    const std::vector<Tuple>* rows;
-    using is_transparent = void;
-    bool operator()(RowRef a, RowRef b) const {
-      return (*rows)[a.id] == (*rows)[b.id];
-    }
-    bool operator()(RowRef a, const Tuple& b) const {
-      return (*rows)[a.id] == b;
-    }
-    bool operator()(const Tuple& a, RowRef b) const {
-      return a == (*rows)[b.id];
-    }
-  };
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  void GrowDedup();
 
   int arity_;
   std::vector<Tuple> rows_;
-  std::unordered_set<RowRef, RowHash, RowEq> dedup_{
-      16, RowHash{&rows_}, RowEq{&rows_}};
+  // Open-addressing dedup set over row ids (hash + id per slot; equality
+  // reads back through rows_).
+  struct DedupSlot {
+    uint64_t hash;
+    uint32_t row;
+  };
+  std::vector<DedupSlot> dedup_;
+  uint64_t dedup_mask_ = 0;
   std::unordered_map<uint32_t, ColumnIndex> indexes_;
 };
 

@@ -1,0 +1,126 @@
+// Verifies the hot path's allocation contract: once scratch buffers are
+// warm, a JoinExecutor::Execute pass (index probes, bindings, firings
+// into a raw-values sink) and duplicate-rejecting InsertView calls
+// perform zero heap allocations. Guards against regressions that
+// reintroduce per-probe key `Tuple`s or per-call binding vectors.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "eval/plan.h"
+#include "gtest/gtest.h"
+#include "storage/relation.h"
+#include "test_util.h"
+
+namespace {
+std::atomic<uint64_t> g_news{0};
+}  // namespace
+
+// Count every global allocation in this binary. Deallocation paths are
+// left untouched (free is allocation-free by definition).
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align), size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace pdatalog {
+namespace {
+
+using testing_util::ParseOrDie;
+
+uint64_t AllocCount() { return g_news.load(std::memory_order_relaxed); }
+
+TEST(HotPathAllocTest, JoinExecuteAllocatesNothingWhenWarm) {
+  SymbolTable symbols;
+  Program program = ParseOrDie("anc(X, Y) :- par(X, Z), anc(Z, Y).\n",
+                               &symbols);
+  StatusOr<CompiledRule> compiled = CompiledRule::Compile(program.rules[0]);
+  ASSERT_TRUE(compiled.ok());
+
+  Relation par(2), anc(2);
+  for (Value i = 0; i < 200; ++i) {
+    par.Insert(Tuple{i % 40, i % 50});
+    anc.Insert(Tuple{i % 50, i});
+  }
+  for (const auto& [pred, mask] : compiled->required_indexes()) {
+    (void)pred;
+    anc.EnsureIndex(mask);
+    par.EnsureIndex(mask);
+  }
+
+  std::vector<AtomInput> inputs = {{&par, 0, par.size()},
+                                   {&anc, 0, anc.size()}};
+  JoinScratch scratch;
+  uint64_t firings = 0;
+  auto sink = [&firings](const Value* values, int n) {
+    (void)values;
+    (void)n;
+    ++firings;
+  };
+  ExecStats stats;
+  // Warm-up: sizes the scratch binding buffer.
+  JoinExecutor::Execute(*compiled, inputs, nullptr, sink, &stats, &scratch);
+  ASSERT_GT(firings, 0u);
+
+  uint64_t before = AllocCount();
+  JoinExecutor::Execute(*compiled, inputs, nullptr, sink, &stats, &scratch);
+  uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations on the warm join path";
+}
+
+TEST(HotPathAllocTest, DuplicateInsertViewAllocatesNothing) {
+  Relation rel(3);
+  std::vector<Tuple> rows;
+  for (Value i = 0; i < 500; ++i) {
+    Tuple t{i, i % 7, i % 13};
+    rel.Insert(t);
+    rows.push_back(t);
+  }
+  uint64_t before = AllocCount();
+  for (const Tuple& t : rows) {
+    ASSERT_FALSE(rel.InsertView(t.data(), t.arity()));
+  }
+  uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations while rejecting duplicates";
+}
+
+TEST(HotPathAllocTest, IndexProbeAllocatesNothing) {
+  Relation rel(2);
+  for (Value i = 0; i < 1000; ++i) rel.Insert(Tuple{i % 31, i});
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+
+  uint64_t hits = 0;
+  uint64_t before = AllocCount();
+  for (Value k = 0; k < 31; ++k) {
+    ColumnIndex::Probe probe = index.ProbeRange(&k, 1, 0, rel.size());
+    uint32_t id = 0;
+    while (probe.Next(&id)) ++hits;
+  }
+  uint64_t after = AllocCount();
+  EXPECT_EQ(hits, 1000u);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations across 31 index probes";
+}
+
+}  // namespace
+}  // namespace pdatalog

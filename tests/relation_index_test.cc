@@ -1,0 +1,144 @@
+// Deeper coverage of the flat column index: incremental extension
+// interleaved with inserts, probing a frozen prefix while the relation
+// keeps growing (the worker pattern: scan bounds frozen per round), and
+// a randomized differential check against a naive scan.
+#include <random>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "storage/relation.h"
+
+namespace pdatalog {
+namespace {
+
+std::vector<uint32_t> Probe(const ColumnIndex& index,
+                            const std::vector<Value>& key, size_t begin,
+                            size_t end) {
+  ColumnIndex::Probe probe = index.ProbeRange(
+      key.data(), static_cast<int>(key.size()), begin, end);
+  std::vector<uint32_t> out;
+  uint32_t id = 0;
+  while (probe.Next(&id)) out.push_back(id);
+  return out;
+}
+
+TEST(RelationIndexTest, ExtensionInterleavedWithInserts) {
+  Relation rel(2);
+  // Repeated EnsureIndex calls as the relation grows must each index
+  // exactly the new suffix, never duplicating earlier rows.
+  for (int round = 0; round < 10; ++round) {
+    for (Value i = 0; i < 50; ++i) {
+      rel.Insert(Tuple{i % 5, static_cast<Value>(round * 50 + i)});
+    }
+    const ColumnIndex& index = rel.EnsureIndex(0b01);
+    EXPECT_EQ(index.built_upto(), rel.size());
+  }
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+  size_t total = 0;
+  for (Value k = 0; k < 5; ++k) {
+    std::vector<uint32_t> ids = Probe(index, {k}, 0, rel.size());
+    // Each key appears once per (round, i) pair with i % 5 == k.
+    EXPECT_EQ(ids.size(), 100u) << "key " << k;
+    // Ascending, no duplicates.
+    for (size_t j = 1; j < ids.size(); ++j) EXPECT_LT(ids[j - 1], ids[j]);
+    total += ids.size();
+  }
+  EXPECT_EQ(total, rel.size());
+}
+
+TEST(RelationIndexTest, ProbeFrozenPrefixWhileRelationGrows) {
+  Relation rel(2);
+  for (Value i = 0; i < 100; ++i) rel.Insert(Tuple{i % 3, i});
+  rel.EnsureIndex(0b01);
+  size_t frozen = rel.size();
+
+  // The round's scan bounds are frozen; new arrivals land beyond them.
+  for (Value i = 100; i < 200; ++i) rel.Insert(Tuple{i % 3, i});
+
+  const ColumnIndex* index = rel.GetIndex(0b01);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->built_upto(), frozen);
+  for (Value k = 0; k < 3; ++k) {
+    std::vector<uint32_t> ids = Probe(*index, {k}, 0, frozen);
+    for (uint32_t id : ids) {
+      EXPECT_LT(id, frozen);
+      EXPECT_EQ(rel.row(id)[0], k);
+    }
+  }
+  // After re-extension the suffix becomes visible too.
+  const ColumnIndex& extended = rel.EnsureIndex(0b01);
+  std::vector<uint32_t> suffix = Probe(extended, {1}, frozen, rel.size());
+  for (uint32_t id : suffix) EXPECT_GE(id, frozen);
+  EXPECT_FALSE(suffix.empty());
+}
+
+TEST(RelationIndexTest, RandomizedDifferentialAgainstScan) {
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int arity = 1 + static_cast<int>(rng() % 4);
+    Relation rel(arity);
+    std::uniform_int_distribution<Value> val(0, 12);
+    const int n = 200 + static_cast<int>(rng() % 300);
+    for (int i = 0; i < n; ++i) {
+      std::vector<Value> row(arity);
+      for (Value& v : row) v = val(rng);
+      rel.InsertView(row.data(), arity);
+    }
+    // Random nonempty column mask.
+    uint32_t full = (1u << arity) - 1;
+    uint32_t mask = 1 + rng() % full;
+    const ColumnIndex& index = rel.EnsureIndex(mask);
+
+    for (int probe = 0; probe < 50; ++probe) {
+      std::vector<Value> key;
+      for (int c = 0; c < arity; ++c) {
+        if (mask & (1u << c)) key.push_back(val(rng));
+      }
+      size_t begin = rng() % (rel.size() + 1);
+      size_t end = begin + rng() % (rel.size() - begin + 1);
+
+      std::vector<uint32_t> expected;
+      for (size_t r = begin; r < end; ++r) {
+        const Tuple& row = rel.row(r);
+        bool match = true;
+        size_t k = 0;
+        for (int c = 0; c < arity; ++c) {
+          if (!(mask & (1u << c))) continue;
+          if (row[c] != key[k++]) match = false;
+        }
+        if (match) expected.push_back(static_cast<uint32_t>(r));
+      }
+      EXPECT_EQ(Probe(index, key, begin, end), expected)
+          << "trial " << trial << " probe " << probe << " mask " << mask
+          << " range [" << begin << ", " << end << ")";
+    }
+  }
+}
+
+TEST(RelationIndexTest, ManyDistinctKeysSurviveSlotGrowth) {
+  Relation rel(2);
+  for (Value i = 0; i < 20000; ++i) rel.Insert(Tuple{i, i + 1});
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+  EXPECT_EQ(index.num_keys(), 20000u);
+  for (Value i = 0; i < 20000; i += 997) {
+    std::vector<uint32_t> ids = Probe(index, {i}, 0, rel.size());
+    ASSERT_EQ(ids.size(), 1u) << "key " << i;
+    EXPECT_EQ(ids[0], static_cast<uint32_t>(i));
+  }
+}
+
+TEST(RelationIndexTest, SkewedKeyLongChains) {
+  // One hot key spanning many pool chunks, probed over sub-ranges.
+  Relation rel(2);
+  for (Value i = 0; i < 5000; ++i) rel.Insert(Tuple{42, i});
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+  std::vector<uint32_t> all = Probe(index, {42}, 0, rel.size());
+  ASSERT_EQ(all.size(), 5000u);
+  std::vector<uint32_t> mid = Probe(index, {42}, 2000, 3000);
+  ASSERT_EQ(mid.size(), 1000u);
+  EXPECT_EQ(mid.front(), 2000u);
+  EXPECT_EQ(mid.back(), 2999u);
+}
+
+}  // namespace
+}  // namespace pdatalog

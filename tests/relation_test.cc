@@ -1,9 +1,24 @@
 #include "storage/relation.h"
 
+#include <initializer_list>
+
 #include "gtest/gtest.h"
 
 namespace pdatalog {
 namespace {
+
+// Drains a probe cursor into a vector for easy assertions.
+std::vector<uint32_t> Collect(const ColumnIndex& index,
+                              std::initializer_list<Value> key,
+                              size_t begin, size_t end) {
+  std::vector<Value> k(key);
+  ColumnIndex::Probe probe =
+      index.ProbeRange(k.data(), static_cast<int>(k.size()), begin, end);
+  std::vector<uint32_t> out;
+  uint32_t id = 0;
+  while (probe.Next(&id)) out.push_back(id);
+  return out;
+}
 
 TEST(RelationTest, InsertDeduplicates) {
   Relation rel(2);
@@ -44,23 +59,30 @@ TEST(RelationTest, DedupSurvivesRehashAndGrowth) {
 }
 
 TEST(ColumnIndexTest, KeyExtraction) {
-  ColumnIndex index(/*mask=*/0b101, /*arity=*/3);
+  std::vector<Tuple> rows;
+  ColumnIndex index(/*mask=*/0b101, /*arity=*/3, &rows);
   Tuple key = index.MakeKey(Tuple{7, 8, 9});
   EXPECT_EQ(key, (Tuple{7, 9}));
 }
 
-TEST(RelationTest, EnsureIndexLookup) {
+TEST(RelationTest, EnsureIndexProbe) {
   Relation rel(2);
   rel.Insert(Tuple{1, 10});
   rel.Insert(Tuple{1, 11});
   rel.Insert(Tuple{2, 10});
   const ColumnIndex& index = rel.EnsureIndex(0b01);  // key on column 0
-  const std::vector<uint32_t>* ids = index.Lookup(Tuple{1});
-  ASSERT_NE(ids, nullptr);
-  EXPECT_EQ(ids->size(), 2u);
-  EXPECT_EQ((*ids)[0], 0u);
-  EXPECT_EQ((*ids)[1], 1u);
-  EXPECT_EQ(index.Lookup(Tuple{9}), nullptr);
+  EXPECT_EQ(Collect(index, {1}, 0, rel.size()),
+            (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(Collect(index, {9}, 0, rel.size()).empty());
+}
+
+TEST(RelationTest, ProbeRespectsRowRange) {
+  Relation rel(2);
+  for (Value i = 0; i < 20; ++i) rel.Insert(Tuple{7, i});
+  const ColumnIndex& index = rel.EnsureIndex(0b01);
+  EXPECT_EQ(Collect(index, {7}, 5, 8), (std::vector<uint32_t>{5, 6, 7}));
+  EXPECT_EQ(Collect(index, {7}, 19, 20), (std::vector<uint32_t>{19}));
+  EXPECT_TRUE(Collect(index, {7}, 4, 4).empty());
 }
 
 TEST(RelationTest, IndexExtendsIncrementally) {
@@ -73,9 +95,8 @@ TEST(RelationTest, IndexExtendsIncrementally) {
   ASSERT_NE(stale, nullptr);
   EXPECT_EQ(stale->built_upto(), 1u);
   const ColumnIndex& index = rel.EnsureIndex(0b01);
-  const std::vector<uint32_t>* ids = index.Lookup(Tuple{1});
-  ASSERT_NE(ids, nullptr);
-  EXPECT_EQ(ids->size(), 2u);
+  EXPECT_EQ(Collect(index, {1}, 0, rel.size()),
+            (std::vector<uint32_t>{0, 1}));
   EXPECT_EQ(index.built_upto(), 2u);
 }
 
@@ -91,16 +112,16 @@ TEST(RelationTest, MultipleIndexesCoexist) {
   rel.Insert(Tuple{2, 10});
   const ColumnIndex& by_first = rel.EnsureIndex(0b01);
   const ColumnIndex& by_second = rel.EnsureIndex(0b10);
-  EXPECT_EQ(by_first.Lookup(Tuple{1})->size(), 1u);
-  EXPECT_EQ(by_second.Lookup(Tuple{10})->size(), 2u);
+  EXPECT_EQ(Collect(by_first, {1}, 0, rel.size()).size(), 1u);
+  EXPECT_EQ(Collect(by_second, {10}, 0, rel.size()).size(), 2u);
 }
 
 TEST(RelationTest, FullMaskIndexActsAsExactLookup) {
   Relation rel(2);
   rel.Insert(Tuple{4, 5});
   const ColumnIndex& index = rel.EnsureIndex(0b11);
-  EXPECT_NE(index.Lookup(Tuple{4, 5}), nullptr);
-  EXPECT_EQ(index.Lookup(Tuple{5, 4}), nullptr);
+  EXPECT_EQ(Collect(index, {4, 5}, 0, rel.size()).size(), 1u);
+  EXPECT_TRUE(Collect(index, {5, 4}, 0, rel.size()).empty());
 }
 
 TEST(RelationTest, SortedDump) {

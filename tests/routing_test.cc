@@ -1,0 +1,170 @@
+// Unit tests for the precompiled tuple router: pattern checks reduced
+// to (column, constant) / (column, column) comparisons, discriminating
+// evaluation on pre-resolved columns, broadcast fallback, and
+// stamp-based destination dedup across overlapping specs.
+#include "core/routing.h"
+
+#include "core/discriminating.h"
+#include "gtest/gtest.h"
+
+namespace pdatalog {
+namespace {
+
+SendSpec MakeSpec(SymbolTable& symbols, std::string_view predicate,
+                  const std::vector<std::string>& pattern_args,
+                  const std::vector<std::string>& vars, int function,
+                  bool determined) {
+  SendSpec spec;
+  spec.predicate = symbols.Intern(std::string(predicate));
+  spec.pattern = MakeAtom(symbols, predicate, pattern_args);
+  for (const std::string& v : vars) spec.vars.push_back(symbols.Intern(v));
+  spec.function = function;
+  spec.determined = determined;
+  if (determined) {
+    for (Symbol v : spec.vars) {
+      for (int c = 0; c < spec.pattern.arity(); ++c) {
+        if (spec.pattern.args[c].is_var() && spec.pattern.args[c].sym == v) {
+          spec.var_positions.push_back(c);
+          break;
+        }
+      }
+    }
+  }
+  return spec;
+}
+
+TEST(RoutingTest, DeterminedSpecRoutesByFunction) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  int mod4 = registry.Register(DiscriminatingFunction::Custom(
+      [](const Value* vals, int) { return static_cast<int>(vals[0] % 4); },
+      4));
+  std::vector<SendSpec> specs = {
+      MakeSpec(symbols, "anc", {"X", "Y"}, {"X"}, mod4, true)};
+  TupleRouter router(specs, 4, &registry);
+  EXPECT_EQ(router.num_routes(), 1u);
+
+  Symbol anc = symbols.Lookup("anc");
+  std::vector<int> dests;
+  EXPECT_EQ(router.Route(anc, Tuple{6, 1}, &dests), 0);  // no broadcasts
+  EXPECT_EQ(dests, (std::vector<int>{2}));
+}
+
+TEST(RoutingTest, UndeterminedSpecBroadcasts) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  // The discriminating var Z does not occur in the pattern (Example 2).
+  std::vector<SendSpec> specs = {
+      MakeSpec(symbols, "anc", {"X", "Y"}, {"Z"}, 0, false)};
+  TupleRouter router(specs, 3, &registry);
+
+  std::vector<int> dests;
+  EXPECT_EQ(router.Route(symbols.Lookup("anc"), Tuple{1, 2}, &dests), 1);
+  EXPECT_EQ(dests, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RoutingTest, ConstantInPatternFilters) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  int to0 = registry.Register(DiscriminatingFunction::Constant(0));
+  // Pattern p(X, c): only tuples with the constant in column 1 match.
+  std::vector<SendSpec> specs = {
+      MakeSpec(symbols, "p", {"X", "c"}, {"X"}, to0, true)};
+  TupleRouter router(specs, 2, &registry);
+  Value c = symbols.Lookup("c");
+
+  Symbol p = symbols.Lookup("p");
+  std::vector<int> dests;
+  router.Route(p, Tuple{5, c}, &dests);
+  EXPECT_EQ(dests, (std::vector<int>{0}));
+  dests.clear();
+  router.Route(p, Tuple{5, c + 1}, &dests);
+  EXPECT_TRUE(dests.empty());
+}
+
+TEST(RoutingTest, RepeatedVariableRequiresEqualColumns) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  int to1 = registry.Register(DiscriminatingFunction::Constant(1));
+  // Pattern q(X, X): both columns must hold the same value.
+  std::vector<SendSpec> specs = {
+      MakeSpec(symbols, "q", {"X", "X"}, {"X"}, to1, true)};
+  TupleRouter router(specs, 2, &registry);
+
+  Symbol q = symbols.Lookup("q");
+  std::vector<int> dests;
+  router.Route(q, Tuple{7, 7}, &dests);
+  EXPECT_EQ(dests, (std::vector<int>{1}));
+  dests.clear();
+  router.Route(q, Tuple{7, 8}, &dests);
+  EXPECT_TRUE(dests.empty());
+}
+
+TEST(RoutingTest, OverlappingSpecsDeduplicateDestinations) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  int to1 = registry.Register(DiscriminatingFunction::Constant(1));
+  int also1 = registry.Register(DiscriminatingFunction::Constant(1));
+  int to2 = registry.Register(DiscriminatingFunction::Constant(2));
+  std::vector<SendSpec> specs = {
+      MakeSpec(symbols, "anc", {"X", "Y"}, {"X"}, to1, true),
+      MakeSpec(symbols, "anc", {"X", "Y"}, {"X"}, also1, true),
+      MakeSpec(symbols, "anc", {"X", "Y"}, {"Y"}, to2, true)};
+  TupleRouter router(specs, 4, &registry);
+  EXPECT_EQ(router.num_routes(), 3u);
+
+  std::vector<int> dests;
+  router.Route(symbols.Lookup("anc"), Tuple{1, 2}, &dests);
+  EXPECT_EQ(dests, (std::vector<int>{1, 2}));  // 1 emitted once
+
+  // Dedup state resets per call (stamped, not cleared).
+  dests.clear();
+  router.Route(symbols.Lookup("anc"), Tuple{3, 4}, &dests);
+  EXPECT_EQ(dests, (std::vector<int>{1, 2}));
+}
+
+TEST(RoutingTest, UnknownPredicateRoutesNowhere) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  std::vector<SendSpec> specs;
+  TupleRouter router(specs, 4, &registry);
+  std::vector<int> dests;
+  EXPECT_EQ(router.Route(symbols.Intern("ghost"), Tuple{1}, &dests), 0);
+  EXPECT_TRUE(dests.empty());
+}
+
+TEST(RoutingTest, WideDiscriminatingSequenceRoutesAllColumns) {
+  SymbolTable symbols;
+  DiscriminatingRegistry registry;
+  // Sums every value: verifies vals_ scratch is sized from the spec, not
+  // a fixed-size stack buffer.
+  int sum_mod = registry.Register(DiscriminatingFunction::Custom(
+      [](const Value* vals, int n) {
+        uint64_t s = 0;
+        for (int i = 0; i < n; ++i) s += vals[i];
+        return static_cast<int>(s % 5);
+      },
+      5));
+  std::vector<std::string> args, vars;
+  for (int i = 0; i < 40; ++i) {
+    args.push_back("V" + std::to_string(i));
+    vars.push_back("V" + std::to_string(i));
+  }
+  std::vector<SendSpec> specs = {
+      MakeSpec(symbols, "wide", args, vars, sum_mod, true)};
+  TupleRouter router(specs, 5, &registry);
+
+  std::vector<Value> row(40);
+  uint64_t sum = 0;
+  for (int i = 0; i < 40; ++i) {
+    row[i] = static_cast<Value>(i * 3 + 1);
+    sum += row[i];
+  }
+  std::vector<int> dests;
+  router.Route(symbols.Lookup("wide"),
+               Tuple(row.data(), static_cast<int>(row.size())), &dests);
+  EXPECT_EQ(dests, (std::vector<int>{static_cast<int>(sum % 5)}));
+}
+
+}  // namespace
+}  // namespace pdatalog
