@@ -38,6 +38,8 @@ Status UsageError(const std::string& message) {
       "\nusage: pdatalog [--mode=seq|naive|par] [--processors=N]"
       " [--scheme=auto|example1|example2|example3|general|tradeoff]"
       " [--rho=R] [--seed=S] [--dump=pred] [--facts=pred:file]"
+      " [--faults=drop:P,dup:P,reorder:P,corrupt:P,delay:P,polls:N]"
+      " [--retransmit]"
       " [--program=name] [--print-programs] [--stats] [program.dl]");
 }
 
@@ -268,6 +270,38 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       }
       options.fact_files.emplace_back(rest.substr(0, colon),
                                       rest.substr(colon + 1));
+    } else if (ConsumePrefix(arg, "--faults=", &rest)) {
+      size_t pos = 0;
+      while (pos < rest.size()) {
+        size_t comma = rest.find(',', pos);
+        std::string item = rest.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t colon = item.find(':');
+        if (colon == std::string::npos || colon + 1 >= item.size()) {
+          return UsageError("--faults items must look like drop:0.1");
+        }
+        std::string key = item.substr(0, colon);
+        std::string value = item.substr(colon + 1);
+        if (key == "drop") {
+          options.faults.drop = std::atof(value.c_str());
+        } else if (key == "dup" || key == "duplicate") {
+          options.faults.duplicate = std::atof(value.c_str());
+        } else if (key == "reorder") {
+          options.faults.reorder = std::atof(value.c_str());
+        } else if (key == "corrupt") {
+          options.faults.corrupt = std::atof(value.c_str());
+        } else if (key == "delay") {
+          options.faults.delay = std::atof(value.c_str());
+        } else if (key == "polls") {
+          options.faults.delay_polls = std::atoi(value.c_str());
+        } else {
+          return UsageError("unknown --faults key '" + key + "'");
+        }
+        pos = comma == std::string::npos ? rest.size() : comma + 1;
+      }
+    } else if (arg == "--retransmit") {
+      options.retransmit = true;
     } else if (arg == "--advise") {
       options.advise = true;
     } else if (arg == "--interactive") {
@@ -452,7 +486,13 @@ StatusOr<std::string> RunCli(const CliOptions& options,
     }
   }
 
-  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+  ParallelOptions popts;
+  popts.faults = options.faults;
+  popts.faults.seed = options.seed;
+  popts.retransmit = options.retransmit;
+  // Corruption flips wire bytes, so it needs the serialized channels.
+  if (popts.faults.corrupt > 0) popts.serialize_messages = true;
+  StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, popts);
   if (!result.ok()) return result.status();
 
   out += "firings: " + U64(result->total_firings) +
@@ -460,6 +500,14 @@ StatusOr<std::string> RunCli(const CliOptions& options,
          ", cross messages: " + U64(result->cross_tuples) +
          ", self-routed: " + U64(result->self_tuples) + ", " +
          TextTable::Cell(result->wall_seconds * 1e3, 2) + " ms\n";
+  if (result->faults.any()) {
+    out += "faults injected: dropped " + U64(result->faults.dropped) +
+           ", duplicated " + U64(result->faults.duplicated) +
+           ", reordered " + U64(result->faults.reordered) +
+           ", corrupted " + U64(result->faults.corrupted) + ", delayed " +
+           U64(result->faults.delayed) + "; retransmitted " +
+           U64(result->faults.retransmitted) + "\n";
+  }
   for (Symbol p : bundle->derived) {
     out += "  " + symbols.Name(p) + ": " +
            std::to_string(result->output.Find(p)->size()) + " tuples\n";

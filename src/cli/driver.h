@@ -33,6 +33,15 @@
 //     --net=C                   per-message cost for --advise (default 1)
 //     --explain                 print the compiled access plans (full +
 //                               semi-naive delta variants) and exit
+//     --faults=drop:0.1,dup:0.05,reorder:0.1,corrupt:0.05,delay:0.1,polls:3
+//                               inject channel faults with the given
+//                               per-message probabilities (parallel mode;
+//                               keys may be omitted; corrupt implies
+//                               serialized channels; seeded by --seed).
+//                               Without --retransmit the run *detects*
+//                               losses and fails; with it, it recovers.
+//     --retransmit              enable the at-least-once channel
+//                               protocol (resend unacknowledged frames)
 //     --stratified              sequential modes only: evaluate SCC
 //                               strata bottom-up
 //     --print-programs          print the rewritten per-processor programs
@@ -49,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.h"
 #include "datalog/symbol_table.h"
 #include "util/status.h"
 
@@ -82,6 +92,9 @@ struct CliOptions {
   bool advise = false;
   bool explain = false;
   bool stratified = false;
+  // --faults / --retransmit (parallel mode only).
+  FaultSpec faults;
+  bool retransmit = false;
   double net_cost = 1.0;  // --advise cost model
   std::string program_path;  // informational; source is passed separately
   std::string builtin;       // name of a built-in program, if chosen

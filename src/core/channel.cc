@@ -1,0 +1,265 @@
+#include "core/channel.h"
+
+#include <cassert>
+
+#include "core/wire.h"
+
+namespace pdatalog {
+
+Channel::Extras& Channel::EnsureExtras() {
+  // Configuration happens before the run; nothing may be in flight when
+  // the channel switches to the slow path.
+  assert(queue_.empty() && byte_queue_.empty());
+  if (fx_ == nullptr) fx_ = std::make_unique<Extras>();
+  return *fx_;
+}
+
+void Channel::ConfigureFaults(const FaultSpec& spec, int from, int to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsureExtras().injector =
+      std::make_unique<FaultInjector>(spec, from, to);
+}
+
+void Channel::EnableRetransmit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsureExtras().reliable = true;
+}
+
+void Channel::SendLocked(Message message) {
+  Extras& fx = *fx_;
+  uint64_t seq = fx.next_seq++;
+  total_bytes_ += message.WireBytes();
+  ++total_sent_;
+  if (fx.reliable) fx.unacked.emplace_back(seq, message);
+  FaultInjector::Action action = fx.injector != nullptr
+                                     ? fx.injector->Next()
+                                     : FaultInjector::Action::kDeliver;
+  switch (action) {
+    case FaultInjector::Action::kDrop:
+      ++fx.counters.dropped;
+      return;  // never enqueued
+    case FaultInjector::Action::kDuplicate:
+      ++fx.counters.duplicated;
+      fx.queue.emplace_back(seq, message);
+      fx.queue.emplace_back(seq, std::move(message));
+      return;
+    case FaultInjector::Action::kReorder:
+      ++fx.counters.reordered;
+      fx.queue.insert(fx.queue.begin(), {seq, std::move(message)});
+      return;
+    case FaultInjector::Action::kDelay:
+      ++fx.counters.delayed;
+      fx.delayed.push_back(
+          {seq, std::move(message),
+           fx.drain_calls + fx.injector->delay_polls()});
+      return;
+    case FaultInjector::Action::kCorrupt:
+      // Message-object mode has no bytes to flip; only serialized
+      // channels can corrupt. Deliver intact, without counting.
+    case FaultInjector::Action::kDeliver:
+      fx.queue.emplace_back(seq, std::move(message));
+      return;
+  }
+}
+
+void Channel::SendBytesLocked(std::vector<uint8_t> bytes) {
+  Extras& fx = *fx_;
+  uint64_t seq = fx.next_seq++;
+  total_bytes_ += bytes.size();
+  ++total_sent_;
+  if (fx.reliable) fx.unacked_bytes.emplace_back(seq, bytes);
+  FaultInjector::Action action = fx.injector != nullptr
+                                     ? fx.injector->Next()
+                                     : FaultInjector::Action::kDeliver;
+  switch (action) {
+    case FaultInjector::Action::kDrop:
+      ++fx.counters.dropped;
+      return;
+    case FaultInjector::Action::kDuplicate:
+      ++fx.counters.duplicated;
+      fx.byte_queue.emplace_back(seq, bytes);
+      fx.byte_queue.emplace_back(seq, std::move(bytes));
+      return;
+    case FaultInjector::Action::kReorder:
+      ++fx.counters.reordered;
+      fx.byte_queue.insert(fx.byte_queue.begin(), {seq, std::move(bytes)});
+      return;
+    case FaultInjector::Action::kDelay:
+      ++fx.counters.delayed;
+      fx.delayed_bytes.push_back(
+          {seq, std::move(bytes),
+           fx.drain_calls + fx.injector->delay_polls()});
+      return;
+    case FaultInjector::Action::kCorrupt: {
+      ++fx.counters.corrupted;
+      if (!bytes.empty()) {
+        bytes[fx.injector->CorruptOffset(bytes.size())] ^= 0xa5;
+      }
+      fx.byte_queue.emplace_back(seq, std::move(bytes));
+      return;
+    }
+    case FaultInjector::Action::kDeliver:
+      fx.byte_queue.emplace_back(seq, std::move(bytes));
+      return;
+  }
+}
+
+void Channel::ReleaseMatureLocked() {
+  Extras& fx = *fx_;
+  if (!fx.delayed.empty()) {
+    size_t kept = 0;
+    for (Extras::DelayedMessage& d : fx.delayed) {
+      if (d.release_at <= fx.drain_calls) {
+        fx.queue.emplace_back(d.seq, std::move(d.message));
+      } else {
+        fx.delayed[kept++] = std::move(d);
+      }
+    }
+    fx.delayed.resize(kept);
+  }
+  if (!fx.delayed_bytes.empty()) {
+    size_t kept = 0;
+    for (Extras::DelayedBytes& d : fx.delayed_bytes) {
+      if (d.release_at <= fx.drain_calls) {
+        fx.byte_queue.emplace_back(d.seq, std::move(d.bytes));
+      } else {
+        fx.delayed_bytes[kept++] = std::move(d);
+      }
+    }
+    fx.delayed_bytes.resize(kept);
+  }
+}
+
+void Channel::DeliverMessageLocked(Message message,
+                                   std::vector<Message>* out,
+                                   size_t* delivered) {
+  Extras& fx = *fx_;
+  out->push_back(std::move(message));
+  ++*delivered;
+  ++fx.deliver_next;
+  // Flush consecutive frames that were buffered ahead of the gap.
+  for (auto it = fx.ahead.find(fx.deliver_next); it != fx.ahead.end();
+       it = fx.ahead.find(fx.deliver_next)) {
+    out->push_back(std::move(it->second));
+    fx.ahead.erase(it);
+    ++*delivered;
+    ++fx.deliver_next;
+  }
+}
+
+void Channel::DeliverBytesLocked(std::vector<uint8_t> bytes,
+                                 std::vector<std::vector<uint8_t>>* out,
+                                 size_t* delivered) {
+  Extras& fx = *fx_;
+  out->push_back(std::move(bytes));
+  ++*delivered;
+  ++fx.deliver_next;
+  for (auto it = fx.ahead_bytes.find(fx.deliver_next);
+       it != fx.ahead_bytes.end();
+       it = fx.ahead_bytes.find(fx.deliver_next)) {
+    out->push_back(std::move(it->second));
+    fx.ahead_bytes.erase(it);
+    ++*delivered;
+    ++fx.deliver_next;
+  }
+}
+
+size_t Channel::DrainLocked(std::vector<Message>* out) {
+  Extras& fx = *fx_;
+  ++fx.drain_calls;
+  ReleaseMatureLocked();
+  size_t delivered = 0;
+  if (!fx.reliable) {
+    for (auto& [seq, m] : fx.queue) {
+      out->push_back(std::move(m));
+      ++delivered;
+    }
+    fx.queue.clear();
+    return delivered;
+  }
+  for (auto& [seq, m] : fx.queue) {
+    if (seq < fx.deliver_next) {
+      ++fx.counters.duplicates_discarded;
+    } else if (seq == fx.deliver_next) {
+      DeliverMessageLocked(std::move(m), out, &delivered);
+    } else if (!fx.ahead.emplace(seq, std::move(m)).second) {
+      ++fx.counters.duplicates_discarded;
+    }
+  }
+  fx.queue.clear();
+  return delivered;
+}
+
+size_t Channel::DrainBytesLocked(std::vector<std::vector<uint8_t>>* out) {
+  Extras& fx = *fx_;
+  ++fx.drain_calls;
+  ReleaseMatureLocked();
+  size_t delivered = 0;
+  if (!fx.reliable) {
+    for (auto& [seq, b] : fx.byte_queue) {
+      out->push_back(std::move(b));
+      ++delivered;
+    }
+    fx.byte_queue.clear();
+    return delivered;
+  }
+  for (auto& [seq, b] : fx.byte_queue) {
+    if (seq < fx.deliver_next) {
+      ++fx.counters.duplicates_discarded;
+      continue;
+    }
+    // A frame the injector corrupted fails its checksum; treat it as
+    // lost (no delivery, no ack) so the sender's resend recovers it.
+    if (!FrameChecksumOk(b.data(), b.size())) {
+      ++fx.counters.corrupt_discarded;
+      continue;
+    }
+    if (seq == fx.deliver_next) {
+      DeliverBytesLocked(std::move(b), out, &delivered);
+    } else if (!fx.ahead_bytes.emplace(seq, std::move(b)).second) {
+      ++fx.counters.duplicates_discarded;
+    }
+  }
+  fx.byte_queue.clear();
+  return delivered;
+}
+
+bool Channel::HasPendingLocked() const {
+  const Extras& fx = *fx_;
+  return !fx.queue.empty() || !fx.byte_queue.empty() ||
+         !fx.delayed.empty() || !fx.delayed_bytes.empty();
+}
+
+size_t Channel::RetransmitUnacked() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fx_ == nullptr || !fx_->reliable) return 0;
+  Extras& fx = *fx_;
+  while (!fx.unacked.empty() && fx.unacked.front().first < fx.deliver_next) {
+    fx.unacked.pop_front();
+  }
+  while (!fx.unacked_bytes.empty() &&
+         fx.unacked_bytes.front().first < fx.deliver_next) {
+    fx.unacked_bytes.pop_front();
+  }
+  size_t resent = 0;
+  for (const auto& [seq, m] : fx.unacked) {
+    if (fx.ahead.count(seq) != 0) continue;  // receiver already holds it
+    fx.queue.emplace_back(seq, m);
+    ++fx.counters.retransmitted;
+    ++resent;
+  }
+  for (const auto& [seq, b] : fx.unacked_bytes) {
+    if (fx.ahead_bytes.count(seq) != 0) continue;
+    fx.byte_queue.emplace_back(seq, b);
+    ++fx.counters.retransmitted;
+    ++resent;
+  }
+  return resent;
+}
+
+FaultCounters Channel::fault_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fx_ != nullptr ? fx_->counters : FaultCounters{};
+}
+
+}  // namespace pdatalog

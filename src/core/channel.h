@@ -3,36 +3,68 @@
 // memory. "If a processor i puts some data in channel ij, then processor
 // j (and no other processor) receives this data without error within
 // some finite time."
+//
+// The reliability assumption is exactly that — an assumption — so the
+// channel also supports a deterministic fault-injection mode
+// (core/fault.h) that violates it on purpose, and an optional
+// at-least-once retransmit protocol (per-channel sequence numbers,
+// receiver-side dedup and in-order delivery, sender-side resend of
+// unacknowledged frames) that restores it. Both are opt-in: the default
+// configuration keeps the original lock-append fast path.
 #ifndef PDATALOG_CORE_CHANNEL_H_
 #define PDATALOG_CORE_CHANNEL_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "core/fault.h"
 #include "datalog/symbol_table.h"
 #include "storage/tuple.h"
 
 namespace pdatalog {
+
+// Single source of truth for the fixed wire encoding's layout
+// (core/wire.cc implements the encoder against these constants;
+// tests/wire_test.cc asserts WireBytes() == EncodeMessage().size()
+// across arities so the byte statistics cannot drift from the real
+// encoder).
+//
+// Frame layout (little-endian):
+//   u32 predicate id | u16 arity | arity * u32 values | u32 checksum
+inline constexpr size_t kWireHeaderBytes = 6;    // u32 predicate + u16 arity
+inline constexpr size_t kWireValueBytes = 4;     // u32 per column
+inline constexpr size_t kWireChecksumBytes = 4;  // FNV-1a over the frame
+inline constexpr int kMaxWireArity = 32;
+
+constexpr size_t MessageWireBytes(int arity) {
+  return kWireHeaderBytes + static_cast<size_t>(arity) * kWireValueBytes +
+         kWireChecksumBytes;
+}
 
 // One tuple of a derived predicate in flight on a channel.
 struct Message {
   Symbol predicate;
   Tuple tuple;
 
-  // Wire size under a simple fixed encoding: 4-byte predicate id,
-  // 2-byte arity, 4 bytes per column value.
-  size_t WireBytes() const {
-    return 6 + static_cast<size_t>(tuple.arity()) * 4;
-  }
+  size_t WireBytes() const { return MessageWireBytes(tuple.arity()); }
 };
 
 // A single directed channel. Senders append under a lock; the receiver
-// drains the entire backlog in one swap.
+// drains the entire backlog in one swap. Each channel has exactly one
+// sending worker and one receiving worker; the lock exists because the
+// sender and receiver race, not because senders race each other.
 class Channel {
  public:
   void Send(Message message) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fx_ != nullptr) {
+      SendLocked(std::move(message));
+      return;
+    }
     total_bytes_ += message.WireBytes();
     queue_.push_back(std::move(message));
     ++total_sent_;
@@ -44,6 +76,11 @@ class Channel {
   void SendBatch(std::vector<Message>* batch) {
     if (batch->empty()) return;
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fx_ != nullptr) {
+      for (Message& m : *batch) SendLocked(std::move(m));
+      batch->clear();
+      return;
+    }
     queue_.reserve(queue_.size() + batch->size());
     for (Message& m : *batch) {
       total_bytes_ += m.WireBytes();
@@ -53,10 +90,12 @@ class Channel {
     batch->clear();
   }
 
-  // Moves all pending messages into `out` (appending). Returns the
-  // number drained.
+  // Moves all pending (deliverable) messages into `out` (appending).
+  // Returns the number drained — in retransmit mode this counts only
+  // newly delivered logical messages, never duplicates.
   size_t Drain(std::vector<Message>* out) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fx_ != nullptr) return DrainLocked(out);
     size_t n = queue_.size();
     out->reserve(out->size() + n);
     for (Message& m : queue_) out->push_back(std::move(m));
@@ -64,17 +103,26 @@ class Channel {
     return n;
   }
 
-  // Serialized (message-passing) mode: enqueue one encoded message.
+  // Serialized (message-passing) mode: enqueue one encoded message
+  // frame. Each frame holds exactly one message's bytes.
   void SendBytes(std::vector<uint8_t> bytes) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fx_ != nullptr) {
+      SendBytesLocked(std::move(bytes));
+      return;
+    }
     total_bytes_ += bytes.size();
     byte_queue_.push_back(std::move(bytes));
     ++total_sent_;
   }
 
-  // Drains all encoded messages (appending). Returns the number drained.
+  // Drains all deliverable encoded frames (appending). Returns the
+  // number drained. In retransmit mode, frames whose checksum the
+  // injector broke are discarded here (and later retransmitted by the
+  // sender) instead of being surfaced.
   size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fx_ != nullptr) return DrainBytesLocked(out);
     size_t n = byte_queue_.size();
     out->reserve(out->size() + n);
     for (auto& b : byte_queue_) out->push_back(std::move(b));
@@ -82,12 +130,38 @@ class Channel {
     return n;
   }
 
+  // Whether anything is drainable now or will become drainable without
+  // sender action (delayed frames count; out-of-order frames held back
+  // by a lost predecessor do not — those need a retransmit).
   bool HasPending() const {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fx_ != nullptr) return HasPendingLocked();
     return !queue_.empty() || !byte_queue_.empty();
   }
 
+  // --- fault injection / retransmit (configure before the run) ---
+
+  // Installs a fault injector for this channel; (from, to) seed the
+  // per-channel decision stream deterministically.
+  void ConfigureFaults(const FaultSpec& spec, int from, int to);
+
+  // Enables the at-least-once protocol: frames carry sequence numbers,
+  // the receiver delivers in order exactly once, and the sender keeps
+  // copies of unacknowledged frames for RetransmitUnacked().
+  void EnableRetransmit();
+
+  // Sender side: re-enqueues every unacknowledged frame the receiver is
+  // still missing. Retransmissions bypass fault injection (faults apply
+  // to first transmissions), so one resend recovers a loss. Returns the
+  // number of frames re-enqueued.
+  size_t RetransmitUnacked();
+
+  // Injected-event counts for this channel (zeroes when no injector).
+  FaultCounters fault_counters() const;
+
   // Total messages ever sent on this channel (monotone; for stats).
+  // Counts logical sends: a dropped message still counts, a retransmit
+  // does not count again.
   uint64_t total_sent() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return total_sent_;
@@ -100,9 +174,64 @@ class Channel {
   }
 
  private:
+  // Slow-path state, allocated only when faults or retransmit are
+  // configured. All fields are guarded by mutex_.
+  struct Extras {
+    std::unique_ptr<FaultInjector> injector;  // null: retransmit only
+    bool reliable = false;
+
+    uint64_t next_seq = 0;      // sender: next sequence number
+    uint64_t deliver_next = 0;  // receiver: next in-order seq (= ack)
+    uint64_t drain_calls = 0;   // receiver: poll clock for delays
+
+    // Seq-stamped in-flight queues (replace queue_/byte_queue_).
+    std::vector<std::pair<uint64_t, Message>> queue;
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> byte_queue;
+
+    // Delayed frames, released once drain_calls reaches release_at.
+    struct DelayedMessage {
+      uint64_t seq;
+      Message message;
+      uint64_t release_at;
+    };
+    struct DelayedBytes {
+      uint64_t seq;
+      std::vector<uint8_t> bytes;
+      uint64_t release_at;
+    };
+    std::vector<DelayedMessage> delayed;
+    std::vector<DelayedBytes> delayed_bytes;
+
+    // Receiver: frames ahead of a gap (reliable mode only).
+    std::map<uint64_t, Message> ahead;
+    std::map<uint64_t, std::vector<uint8_t>> ahead_bytes;
+
+    // Sender: copies awaiting acknowledgement (reliable mode only).
+    std::deque<std::pair<uint64_t, Message>> unacked;
+    std::deque<std::pair<uint64_t, std::vector<uint8_t>>> unacked_bytes;
+
+    FaultCounters counters;
+  };
+
+  Extras& EnsureExtras();
+  void SendLocked(Message message);
+  void SendBytesLocked(std::vector<uint8_t> bytes);
+  size_t DrainLocked(std::vector<Message>* out);
+  size_t DrainBytesLocked(std::vector<std::vector<uint8_t>>* out);
+  bool HasPendingLocked() const;
+  void ReleaseMatureLocked();
+  // Delivers one in-order frame and flushes any directly following
+  // frames buffered in ahead/ahead_bytes.
+  void DeliverMessageLocked(Message message, std::vector<Message>* out,
+                            size_t* delivered);
+  void DeliverBytesLocked(std::vector<uint8_t> bytes,
+                          std::vector<std::vector<uint8_t>>* out,
+                          size_t* delivered);
+
   mutable std::mutex mutex_;
   std::vector<Message> queue_;
   std::vector<std::vector<uint8_t>> byte_queue_;  // serialized mode
+  std::unique_ptr<Extras> fx_;
   uint64_t total_sent_ = 0;
   uint64_t total_bytes_ = 0;
 };
@@ -123,6 +252,39 @@ class CommNetwork {
   }
   const Channel& channel(int from, int to) const {
     return channels_[static_cast<size_t>(from) * num_processors_ + to];
+  }
+
+  // Installs `spec` on every cross channel (self-channels stay
+  // fault-free: a processor handing tuples to itself is not
+  // communication, per Section 3).
+  void InstallFaults(const FaultSpec& spec) {
+    for (int i = 0; i < num_processors_; ++i) {
+      for (int j = 0; j < num_processors_; ++j) {
+        if (i != j) channel(i, j).ConfigureFaults(spec, i, j);
+      }
+    }
+  }
+
+  // Enables the at-least-once protocol on every cross channel.
+  void EnableRetransmit() {
+    for (int i = 0; i < num_processors_; ++i) {
+      for (int j = 0; j < num_processors_; ++j) {
+        if (i != j) channel(i, j).EnableRetransmit();
+      }
+    }
+  }
+
+  bool AnyPending() const {
+    for (const Channel& c : channels_) {
+      if (c.HasPending()) return true;
+    }
+    return false;
+  }
+
+  FaultCounters AggregateFaultCounters() const {
+    FaultCounters total;
+    for (const Channel& c : channels_) total += c.fault_counters();
+    return total;
   }
 
   // Per-channel totals, [from][to].

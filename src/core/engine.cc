@@ -72,6 +72,32 @@ Status ValidateFunctions(const RewriteBundle& bundle) {
   return Status::Ok();
 }
 
+Status ValidateFaultSpec(const ParallelOptions& options) {
+  const FaultSpec& f = options.faults;
+  const double probs[] = {f.drop, f.duplicate, f.reorder, f.corrupt, f.delay};
+  for (double p : probs) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "fault probabilities must lie in [0, 1]");
+    }
+  }
+  if (f.total() > 1.0) {
+    return Status::InvalidArgument(
+        "fault probabilities must sum to at most 1");
+  }
+  if (f.delay > 0.0 && f.delay_polls < 1) {
+    return Status::InvalidArgument("fault delay_polls must be >= 1");
+  }
+  if (f.corrupt > 0.0 && !options.serialize_messages) {
+    // Shared-memory channels move Message objects, so there are no wire
+    // bytes to corrupt; refuse rather than silently not injecting.
+    return Status::InvalidArgument(
+        "corrupt faults require serialize_messages (there are no wire "
+        "bytes to corrupt on shared-memory channels)");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
@@ -83,6 +109,7 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
     return Status::InvalidArgument("malformed rewrite bundle");
   }
   PDATALOG_RETURN_IF_ERROR(ValidateFunctions(bundle));
+  PDATALOG_RETURN_IF_ERROR(ValidateFaultSpec(options));
 
   // Materialize every base relation so shared reads have a target.
   for (const auto& [pred, arity] : bundle.arity) {
@@ -97,6 +124,16 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
 
   CommNetwork network(bundle.num_processors);
   TerminationDetector detector(bundle.num_processors);
+  const bool faults_on = options.faults.any();
+  if (faults_on) network.InstallFaults(options.faults);
+  if (options.retransmit) network.EnableRetransmit();
+  if (faults_on && !options.retransmit) {
+    // Without retransmission a lost or duplicated message would
+    // livelock the detector (counters never balance); loss detection
+    // turns that state into a reported failure. It is unsound under
+    // retransmission — a pending resend would be declared lost.
+    detector.EnableLossDetection(&network);
+  }
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(bundle.num_processors);
@@ -106,6 +143,7 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
                        &network, &detector);
     if (!worker.ok()) return worker.status();
     (*worker)->set_serialize_messages(options.serialize_messages);
+    (*worker)->set_retransmit(options.retransmit);
     workers.push_back(std::move(*worker));
   }
 
@@ -121,21 +159,50 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
 
   Stopwatch watch;
   if (options.use_threads) {
+    std::vector<Status> worker_status(workers.size());
     std::vector<std::thread> threads;
     threads.reserve(workers.size());
-    for (auto& worker : workers) {
-      threads.emplace_back([&worker] { worker->RunLoop(); });
+    for (size_t i = 0; i < workers.size(); ++i) {
+      Worker* worker = workers[i].get();
+      Status* slot = &worker_status[i];
+      threads.emplace_back([worker, slot] { *slot = worker->RunLoop(); });
     }
     for (std::thread& t : threads) t.join();
+    // The detector's status is the first failure (a failing worker
+    // aborts the run for everyone); individual loop statuses are
+    // checked too in case a loop exited before publishing.
+    PDATALOG_RETURN_IF_ERROR(detector.run_status());
+    for (const Status& st : worker_status) PDATALOG_RETURN_IF_ERROR(st);
   } else {
     // Deterministic round-robin schedule.
-    for (auto& worker : workers) worker->Init();
+    for (auto& worker : workers) {
+      PDATALOG_RETURN_IF_ERROR(worker->Init());
+    }
     bool progress = true;
     while (progress) {
       progress = false;
       for (auto& worker : workers) {
-        if (worker->Step()) progress = true;
+        StatusOr<bool> stepped = worker->Step();
+        if (!stepped.ok()) return stepped.status();
+        if (*stepped) progress = true;
       }
+      if (!progress && options.retransmit) {
+        // Quiescent but possibly short a dropped frame: re-send every
+        // unacknowledged copy, then keep stepping if anything went out.
+        size_t resent = 0;
+        for (auto& worker : workers) resent += worker->RetransmitUnacked();
+        if (resent > 0) progress = true;
+      }
+      if (!progress && network.AnyPending()) {
+        // Delayed frames mature on future drain polls; keep stepping.
+        progress = true;
+      }
+    }
+    if (faults_on && !options.retransmit) {
+      // The round-robin schedule quiesces by construction, so loss
+      // shows up as a final send/receive imbalance rather than a
+      // livelock; check it explicitly.
+      PDATALOG_RETURN_IF_ERROR(detector.CheckCounterBalance());
     }
   }
 
@@ -143,6 +210,7 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
   result.wall_seconds = watch.ElapsedSeconds();
   result.channel_matrix = network.SentMatrix();
   result.bytes_matrix = network.BytesMatrix();
+  result.faults = network.AggregateFaultCounters();
   for (int i = 0; i < bundle.num_processors; ++i) {
     for (int j = 0; j < bundle.num_processors; ++j) {
       if (i != j) result.cross_bytes += result.bytes_matrix[i][j];
@@ -166,8 +234,7 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
       result.out_tuples_total += out.size();
       if (w != 0) {
         result.pooling_messages += out.size();
-        result.pooling_bytes +=
-            out.size() * (6 + static_cast<size_t>(arity) * 4);
+        result.pooling_bytes += out.size() * MessageWireBytes(arity);
       }
       for (size_t row = 0; row < out.size(); ++row) {
         pooled.Insert(out.row(row));
@@ -237,6 +304,7 @@ StatusOr<ParallelResult> RunParallelStratified(
     total.out_tuples_total += result->out_tuples_total;
     total.pooling_messages += result->pooling_messages;
     total.pooling_bytes += result->pooling_bytes;
+    total.faults += result->faults;
     for (int i = 0; i < num_processors; ++i) {
       const WorkerStats& w = result->workers[i];
       total.workers[i].rounds += w.rounds;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/fault.h"
 #include "core/rewrite.h"
 #include "core/worker.h"
 #include "storage/database.h"
@@ -26,6 +27,17 @@ struct ParallelOptions {
   // slightly slower; exists to validate the paper's "either shared
   // memory or message passing" claim.
   bool serialize_messages = false;
+  // Deterministic fault injection on the cross-processor channels (see
+  // core/fault.h). Corruption faults flip wire bytes and therefore
+  // require serialize_messages. With faults enabled and retransmit off,
+  // a run whose messages were lost/duplicated fails with a diagnostic
+  // Status — never a silently wrong fixpoint.
+  FaultSpec faults;
+  // At-least-once delivery: senders keep unacknowledged copies of every
+  // cross frame and idle workers periodically re-send them; receivers
+  // deliver in order exactly once. Makes the fixpoint exact under drop/
+  // duplicate/reorder/corrupt/delay faults.
+  bool retransmit = false;
 };
 
 struct ParallelResult {
@@ -54,6 +66,9 @@ struct ParallelResult {
   // processor's t_out to collector 0 (its own tuples stay local).
   uint64_t pooling_messages = 0;
   uint64_t pooling_bytes = 0;
+  // Injected-fault totals summed over all channels (zero when fault
+  // injection is off).
+  FaultCounters faults;
   double wall_seconds = 0;
 
   // Work-model makespan: max over processors of

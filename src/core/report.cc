@@ -20,6 +20,19 @@ std::string RenderReport(const ParallelResult& result,
            " bytes), " + std::to_string(result.self_tuples) +
            " self-routed, " +
            TextTable::Cell(result.wall_seconds * 1e3, 2) + " ms\n";
+    if (result.faults.any()) {
+      out += "faults: " + std::to_string(result.faults.dropped) +
+             " dropped, " + std::to_string(result.faults.duplicated) +
+             " duplicated, " + std::to_string(result.faults.reordered) +
+             " reordered, " + std::to_string(result.faults.corrupted) +
+             " corrupted, " + std::to_string(result.faults.delayed) +
+             " delayed; " + std::to_string(result.faults.retransmitted) +
+             " retransmitted, " +
+             std::to_string(result.faults.duplicates_discarded) +
+             " duplicates discarded, " +
+             std::to_string(result.faults.corrupt_discarded) +
+             " corrupt frames discarded\n";
+    }
   }
 
   if (options.per_worker) {

@@ -1,5 +1,7 @@
 #include "core/termination.h"
 
+#include "core/channel.h"
+
 namespace pdatalog {
 
 TerminationDetector::TerminationDetector(int num_workers)
@@ -16,21 +18,71 @@ TerminationDetector::Snapshot TerminationDetector::Scan() const {
     snap.sent += states_[w].sent.load(std::memory_order_seq_cst);
     snap.received += states_[w].received.load(std::memory_order_seq_cst);
   }
+  // Channel emptiness is read after the counters: any message enqueued
+  // later was counted as sent by an active worker, so a scan that sees
+  // all-idle with empty channels cannot have missed an in-flight frame.
+  snap.channels_empty = network_ == nullptr || !network_->AnyPending();
   return snap;
 }
 
 bool TerminationDetector::TryDetect() {
   if (terminated()) return true;
   Snapshot first = Scan();
-  if (!first.all_idle || first.sent != first.received) return false;
-  // Second scan: counters are monotone, so identical totals mean no send
-  // or receive happened in between, and all workers were idle at both
-  // scans. Any message still in a channel would have been counted as
-  // sent but not received, making sent > received.
-  Snapshot second = Scan();
-  if (!second.all_idle || second != first) return false;
+  if (!first.all_idle) return false;
+  if (first.sent == first.received) {
+    // Second scan: counters are monotone, so identical totals mean no
+    // send or receive happened in between, and all workers were idle at
+    // both scans. Any message still in a channel would have been
+    // counted as sent but not received, making sent > received.
+    Snapshot second = Scan();
+    if (!second.all_idle || second != first) return false;
+    terminated_.store(true, std::memory_order_seq_cst);
+    return true;
+  }
+  if (network_ != nullptr && first.channels_empty) {
+    // Unbalanced counters with every worker idle and every channel
+    // empty: if that state survives a second scan unchanged, no frame
+    // exists that could ever balance the counters — a message was lost
+    // (or injected twice). Without this check the run would livelock.
+    Snapshot second = Scan();
+    if (second.all_idle && second == first) {
+      Abort(Status::Internal(
+          "channel fault detected: " + std::to_string(first.sent) +
+          " messages sent but " + std::to_string(first.received) +
+          " received with all workers idle and all channels empty "
+          "(enable retransmit to recover from lossy channels)"));
+      return true;
+    }
+  }
+  return false;
+}
+
+void TerminationDetector::Abort(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (status_.ok() && !status.ok()) status_ = std::move(status);
+  }
   terminated_.store(true, std::memory_order_seq_cst);
-  return true;
+}
+
+Status TerminationDetector::run_status() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return status_;
+}
+
+Status TerminationDetector::CheckCounterBalance() const {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  for (int w = 0; w < num_workers_; ++w) {
+    sent += states_[w].sent.load(std::memory_order_seq_cst);
+    received += states_[w].received.load(std::memory_order_seq_cst);
+  }
+  if (sent == received) return Status::Ok();
+  return Status::Internal(
+      "channel fault detected: " + std::to_string(sent) +
+      " messages sent but " + std::to_string(received) +
+      " received at quiescence (enable retransmit to recover from "
+      "lossy channels)");
 }
 
 }  // namespace pdatalog

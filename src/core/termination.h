@@ -9,15 +9,28 @@
 // totals. Workers count a send *before* the message becomes visible in
 // the channel and count a receive only *after* taking messages out, so
 // stable equal counters imply empty channels.
+//
+// The detector is also the runtime's failure rendezvous: a worker that
+// hits an error calls Abort(), which terminates every loop with a
+// non-OK run_status() instead of leaving peers livelocked. When fault
+// injection runs without retransmit, EnableLossDetection() additionally
+// turns the would-be livelock of a lost message (counters stably
+// unbalanced, all workers idle, every channel empty) into a reported
+// error — a silent drop can never look like quiescence.
 #ifndef PDATALOG_CORE_TERMINATION_H_
 #define PDATALOG_CORE_TERMINATION_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "util/status.h"
+
 namespace pdatalog {
+
+class CommNetwork;
 
 class TerminationDetector {
  public:
@@ -40,9 +53,33 @@ class TerminationDetector {
   }
 
   // Performed by an idle worker: runs one detection scan. Returns true
-  // once global termination has been declared (by this call or a prior
-  // one). Safe to call concurrently.
+  // once the run has terminated — successfully (by this call or a prior
+  // one) or via Abort()/loss detection; run_status() distinguishes.
+  // Safe to call concurrently.
   bool TryDetect();
+
+  // Marks the run failed and releases every worker loop. The first
+  // abort wins; later calls keep the original status.
+  void Abort(Status status);
+
+  // Enables message-loss detection against `network` (which must
+  // outlive the detector): a stable scan showing all workers idle and
+  // all channels empty while sent != received proves a message vanished
+  // and fails the run. Only sound without retransmission — a reliable
+  // channel's pending resend would be declared lost.
+  void EnableLossDetection(const CommNetwork* network) {
+    network_ = network;
+  }
+
+  // Ok while running and after clean termination; the failure after
+  // Abort() or detected loss.
+  Status run_status() const;
+
+  // Compares the global send/receive totals right now. Used by the
+  // deterministic round-robin scheduler, which quiesces by construction
+  // and only needs the final balance check. Returns the loss error on
+  // mismatch.
+  Status CheckCounterBalance() const;
 
   bool terminated() const {
     return terminated_.load(std::memory_order_seq_cst);
@@ -57,6 +94,7 @@ class TerminationDetector {
 
   struct Snapshot {
     bool all_idle = false;
+    bool channels_empty = false;  // only meaningful with network_
     uint64_t sent = 0;
     uint64_t received = 0;
     bool operator==(const Snapshot&) const = default;
@@ -66,7 +104,10 @@ class TerminationDetector {
 
   int num_workers_;
   std::unique_ptr<WorkerState[]> states_;
+  const CommNetwork* network_ = nullptr;  // loss detection, optional
   std::atomic<bool> terminated_{false};
+  mutable std::mutex status_mutex_;
+  Status status_;  // guarded by status_mutex_
 };
 
 }  // namespace pdatalog

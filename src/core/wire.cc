@@ -33,25 +33,44 @@ bool GetU16(const std::vector<uint8_t>& data, size_t* offset, uint16_t* v) {
   return true;
 }
 
+// FNV-1a, 32-bit.
+uint32_t Fnv1a(const uint8_t* data, size_t size) {
+  uint32_t h = 0x811c9dc5u;
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * 0x01000193u;
+  }
+  return h;
+}
+
 }  // namespace
 
-void EncodeMessage(const Message& message, std::vector<uint8_t>* out) {
+Status EncodeMessage(const Message& message, std::vector<uint8_t>* out) {
+  if (message.tuple.arity() > kMaxWireArity) {
+    return Status::InvalidArgument(
+        "message arity " + std::to_string(message.tuple.arity()) +
+        " exceeds wire limit " + std::to_string(kMaxWireArity));
+  }
+  size_t start = out->size();
   PutU32(message.predicate, out);
   PutU16(static_cast<uint16_t>(message.tuple.arity()), out);
   for (Value v : message.tuple) PutU32(v, out);
+  PutU32(Fnv1a(out->data() + start, out->size() - start), out);
+  return Status::Ok();
 }
 
 StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& data,
                                 size_t* offset) {
+  size_t start = *offset;
   uint32_t predicate;
   uint16_t arity;
   if (!GetU32(data, offset, &predicate) || !GetU16(data, offset, &arity)) {
     return Status::InvalidArgument("truncated message header");
   }
-  if (arity > 32) {
-    return Status::InvalidArgument("message arity exceeds 32");
+  if (arity > kMaxWireArity) {
+    return Status::InvalidArgument("message arity exceeds " +
+                                   std::to_string(kMaxWireArity));
   }
-  Value values[32];
+  Value values[kMaxWireArity];
   for (int c = 0; c < arity; ++c) {
     uint32_t v;
     if (!GetU32(data, offset, &v)) {
@@ -59,15 +78,27 @@ StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& data,
     }
     values[c] = v;
   }
+  uint32_t stored;
+  if (!GetU32(data, offset, &stored)) {
+    return Status::InvalidArgument("truncated message checksum");
+  }
+  uint32_t computed =
+      Fnv1a(data.data() + start, *offset - start - kWireChecksumBytes);
+  if (stored != computed) {
+    return Status::InvalidArgument("message checksum mismatch");
+  }
   Message message;
   message.predicate = predicate;
   message.tuple = Tuple(values, arity);
   return message;
 }
 
-std::vector<uint8_t> EncodeBatch(const std::vector<Message>& messages) {
+StatusOr<std::vector<uint8_t>> EncodeBatch(
+    const std::vector<Message>& messages) {
   std::vector<uint8_t> out;
-  for (const Message& m : messages) EncodeMessage(m, &out);
+  for (const Message& m : messages) {
+    PDATALOG_RETURN_IF_ERROR(EncodeMessage(m, &out));
+  }
   return out;
 }
 
@@ -80,6 +111,16 @@ StatusOr<std::vector<Message>> DecodeBatch(const std::vector<uint8_t>& data) {
     messages.push_back(std::move(*m));
   }
   return messages;
+}
+
+bool FrameChecksumOk(const uint8_t* data, size_t size) {
+  if (size < kWireHeaderBytes + kWireChecksumBytes) return false;
+  size_t body = size - kWireChecksumBytes;
+  uint32_t stored = static_cast<uint32_t>(data[body]) |
+                    static_cast<uint32_t>(data[body + 1]) << 8 |
+                    static_cast<uint32_t>(data[body + 2]) << 16 |
+                    static_cast<uint32_t>(data[body + 3]) << 24;
+  return stored == Fnv1a(data, body);
 }
 
 }  // namespace pdatalog

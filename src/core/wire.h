@@ -6,8 +6,13 @@
 // space (beyond the read-only symbol table, which a real deployment
 // would replicate).
 //
-// Wire format (little-endian):
-//   u32 predicate id | u16 arity | arity * u32 column values
+// Wire format (little-endian), sizes defined once in core/channel.h:
+//   u32 predicate id | u16 arity | arity * u32 values | u32 checksum
+//
+// The trailing checksum is FNV-1a over the frame's preceding bytes, so
+// a corrupted frame is *detected* at decode time and surfaces as a
+// Status instead of silently feeding a wrong tuple into the fixpoint.
+// Encode and decode are symmetric: both reject arity > kMaxWireArity.
 #ifndef PDATALOG_CORE_WIRE_H_
 #define PDATALOG_CORE_WIRE_H_
 
@@ -19,19 +24,26 @@
 
 namespace pdatalog {
 
-// Appends the encoding of `message` to `out`.
-void EncodeMessage(const Message& message, std::vector<uint8_t>* out);
+// Appends the encoding of `message` to `out`. Fails (appending nothing)
+// when the tuple's arity exceeds kMaxWireArity.
+Status EncodeMessage(const Message& message, std::vector<uint8_t>* out);
 
 // Decodes one message starting at `data[*offset]`, advancing *offset.
-// Fails on truncated input.
+// Fails on truncated input, oversized arity, or checksum mismatch.
 StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& data,
                                 size_t* offset);
 
 // Encodes a whole batch (concatenated messages).
-std::vector<uint8_t> EncodeBatch(const std::vector<Message>& messages);
+StatusOr<std::vector<uint8_t>> EncodeBatch(
+    const std::vector<Message>& messages);
 
 // Decodes a concatenated batch.
 StatusOr<std::vector<Message>> DecodeBatch(const std::vector<uint8_t>& data);
+
+// True iff the frame ends in a u32 equal to the FNV-1a hash of the
+// preceding bytes. Used by reliable channels to discard corrupted
+// frames without fully decoding them.
+bool FrameChecksumOk(const uint8_t* data, size_t size);
 
 }  // namespace pdatalog
 

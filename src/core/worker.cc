@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 #include "core/wire.h"
@@ -141,7 +142,7 @@ void Worker::EnsureLocalIndexes() {
   }
 }
 
-void Worker::Init() {
+Status Worker::Init() {
   round_logs_.emplace_back();
   current_log_ = &round_logs_.back();
   current_log_->sent_to.assign(num_processors_, 0);
@@ -179,9 +180,10 @@ void Worker::Init() {
   }
   FlushSends();
   current_log_ = nullptr;
+  return send_status_;
 }
 
-size_t Worker::DrainChannels() {
+StatusOr<size_t> Worker::DrainChannels() {
   drain_buffer_.clear();
   size_t total = 0;
   for (int j = 0; j < num_processors_; ++j) {
@@ -196,19 +198,37 @@ size_t Worker::DrainChannels() {
         size_t offset = 0;
         while (offset < bytes.size()) {
           StatusOr<Message> m = DecodeMessage(bytes, &offset);
-          assert(m.ok());
+          if (!m.ok()) {
+            return Status(m.status().code(),
+                          "worker " + std::to_string(id_) +
+                              ": bad frame on channel " + std::to_string(j) +
+                              "->" + std::to_string(id_) + ": " +
+                              m.status().message());
+          }
           drain_buffer_.push_back(std::move(*m));
           ++total;
         }
       }
     }
   }
-  if (total == 0) return 0;
+  if (total == 0) return size_t{0};
   detector_->CountReceive(id_, total);
   stats_.received += total;
   pending_received_ += total;
   for (Message& m : drain_buffer_) {
-    Relation* in_rel = local_db_.Find(bundle_->in_name.at(m.predicate));
+    auto in_it = bundle_->in_name.find(m.predicate);
+    Relation* in_rel =
+        in_it == bundle_->in_name.end() ? nullptr : local_db_.Find(in_it->second);
+    if (in_rel == nullptr || in_rel->arity() != m.tuple.arity()) {
+      // A corrupted frame can pass the checksum only with probability
+      // 2^-32, but a bug in the sending rules would land here too; both
+      // must fail the run rather than feed a wrong tuple to the fixpoint.
+      return Status::Internal(
+          "worker " + std::to_string(id_) +
+          ": received tuple for unknown predicate id " +
+          std::to_string(m.predicate) + " (arity " +
+          std::to_string(m.tuple.arity()) + ")");
+    }
     if (in_rel->Insert(m.tuple)) ++stats_.in_inserted;
   }
   return total;
@@ -309,7 +329,14 @@ void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
       // Serialized mode enqueues immediately (each message is its own
       // byte vector on the wire).
       std::vector<uint8_t> bytes;
-      EncodeMessage(Message{pred, tuple}, &bytes);
+      Status encoded = EncodeMessage(Message{pred, tuple}, &bytes);
+      if (!encoded.ok()) {
+        // Plan validation rejects arity > kMaxWireArity up front, so
+        // this is defensive. The message is not enqueued; the latched
+        // status aborts the run before quiescence is ever declared.
+        if (send_status_.ok()) send_status_ = std::move(encoded);
+        continue;
+      }
       network_->channel(id_, dest).SendBytes(std::move(bytes));
     } else {
       send_buffers_[dest].push_back(Message{pred, tuple});
@@ -323,8 +350,10 @@ void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
   }
 }
 
-bool Worker::Step() {
-  size_t got = DrainChannels();
+StatusOr<bool> Worker::Step() {
+  if (!send_status_.ok()) return send_status_;
+  StatusOr<size_t> got = DrainChannels();
+  if (!got.ok()) return got.status();
   bool has_delta = false;
   for (const auto& [in_sym, old_end] : in_old_end_) {
     if (old_end < local_db_.Find(in_sym)->size()) {
@@ -332,19 +361,82 @@ bool Worker::Step() {
       break;
     }
   }
-  if (got == 0 && !has_delta) return false;
+  if (*got == 0 && !has_delta) return false;
   ProcessRound();
+  if (!send_status_.ok()) return send_status_;
   return true;
 }
 
-void Worker::RunLoop() {
+size_t Worker::RetransmitUnacked() {
+  size_t resent = 0;
+  for (int dest = 0; dest < num_processors_; ++dest) {
+    if (dest == id_) continue;
+    resent += network_->channel(id_, dest).RetransmitUnacked();
+  }
+  return resent;
+}
+
+namespace {
+
+// Bounded exponential backoff for the idle poll loop: the first few
+// polls only yield (cheap wakeup while traffic is still flowing), then
+// the worker sleeps, doubling from 1us up to a 256us cap so an idle
+// worker stops burning its core while termination latency stays well
+// under a millisecond.
+class IdleBackoff {
+ public:
+  void Pause() {
+    if (polls_ < kYieldPolls) {
+      ++polls_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    sleep_us_ = std::min<int64_t>(sleep_us_ * 2, kMaxSleepUs);
+  }
+
+  void Reset() {
+    polls_ = 0;
+    sleep_us_ = 1;
+  }
+
+ private:
+  static constexpr int kYieldPolls = 16;
+  static constexpr int64_t kMaxSleepUs = 256;
+  int polls_ = 0;
+  int64_t sleep_us_ = 1;
+};
+
+}  // namespace
+
+Status Worker::RunLoop() {
   detector_->SetIdle(id_, false);
-  Init();
+  Status init = Init();
+  if (!init.ok()) {
+    detector_->SetIdle(id_, true);
+    detector_->Abort(init);
+    return init;
+  }
+  IdleBackoff backoff;
+  uint64_t idle_polls = 0;
   while (true) {
-    if (Step()) continue;
+    // A peer may have aborted (or detection may have completed) while
+    // this worker was mid-round.
+    if (detector_->terminated()) return detector_->run_status();
+    StatusOr<bool> progressed = Step();
+    if (!progressed.ok()) {
+      detector_->SetIdle(id_, true);
+      detector_->Abort(progressed.status());
+      return progressed.status();
+    }
+    if (*progressed) {
+      backoff.Reset();
+      idle_polls = 0;
+      continue;
+    }
     detector_->SetIdle(id_, true);
     while (true) {
-      if (detector_->TryDetect()) return;
+      if (detector_->TryDetect()) return detector_->run_status();
       bool pending = false;
       for (int j = 0; j < num_processors_; ++j) {
         if (network_->channel(j, id_).HasPending()) {
@@ -356,7 +448,14 @@ void Worker::RunLoop() {
         detector_->SetIdle(id_, false);
         break;
       }
-      std::this_thread::yield();
+      ++idle_polls;
+      // In retransmit mode an idle worker periodically re-sends its
+      // unacknowledged frames; a dropped first transmission is thus
+      // recovered without any negative-acknowledgement machinery.
+      if (retransmit_ && (idle_polls & 7) == 0 && RetransmitUnacked() > 0) {
+        backoff.Reset();
+      }
+      backoff.Pause();
     }
   }
 }

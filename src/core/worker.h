@@ -51,20 +51,35 @@ class Worker {
 
   // Evaluates the initialization rules (those without t_in body atoms)
   // and sends the resulting output delta. Call once before stepping.
-  void Init();
+  // Fails if an outgoing tuple cannot be encoded.
+  Status Init();
 
   // Drains the incoming channels and, if anything new arrived, runs one
   // semi-naive round over the new t_in delta and sends the new outputs.
-  // Returns false when there was nothing to do.
-  bool Step();
+  // Returns false when there was nothing to do; a non-OK status (corrupt
+  // or malformed incoming message, encode failure) must abort the run —
+  // the worker's counters can no longer be trusted.
+  StatusOr<bool> Step();
 
-  // Thread body: Init() + Step() until global termination is detected.
-  void RunLoop();
+  // Thread body: Init() + Step() until global termination is detected
+  // or any worker fails. A local failure is published through
+  // TerminationDetector::Abort so peers stop too; the returned status
+  // is this worker's own error, or the detector's run status.
+  Status RunLoop();
+
+  // Re-sends this worker's unacknowledged outgoing frames (retransmit
+  // mode only; see Channel::RetransmitUnacked). Returns frames resent.
+  size_t RetransmitUnacked();
 
   // Serialized (message-passing) mode: encode every outgoing tuple to
   // bytes and decode on receipt instead of passing Message objects
   // through shared memory. Set before Init().
   void set_serialize_messages(bool on) { serialize_messages_ = on; }
+
+  // Retransmit mode: the idle loop periodically re-sends unacknowledged
+  // frames. The engine must also have called CommNetwork::
+  // EnableRetransmit. Set before Init().
+  void set_retransmit(bool on) { retransmit_ = on; }
 
   const WorkerStats& stats() const { return stats_; }
   const std::vector<RoundLog>& round_logs() const { return round_logs_; }
@@ -82,8 +97,9 @@ class Worker {
   Status Setup();
 
   // Appends all pending channel messages into the t_in relations.
-  // Returns the number of messages drained.
-  size_t DrainChannels();
+  // Returns the number of messages drained, or an error when an
+  // incoming frame fails to decode or names an unknown predicate.
+  StatusOr<size_t> DrainChannels();
 
   // Runs the delta variants of every processing rule over the current
   // t_in deltas, then routes new t_out tuples.
@@ -128,6 +144,11 @@ class Worker {
   RoundLog* current_log_ = nullptr;  // active during Init/ProcessRound
   uint64_t pending_received_ = 0;    // drained since the last round started
   bool serialize_messages_ = false;
+  bool retransmit_ = false;
+  // First send-side failure (encode error); SendTuple runs deep inside
+  // the join callbacks, so the error is latched here and surfaced by the
+  // next Step()/Init() return.
+  Status send_status_;
   std::vector<std::vector<uint8_t>> byte_buffer_;  // scratch for drains
   // Per-destination outgoing buffers, flushed once per round (one lock
   // acquisition per destination instead of one per message).

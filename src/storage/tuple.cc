@@ -6,7 +6,9 @@ namespace pdatalog {
 
 Tuple::Tuple(const Value* data, int n) : size_(static_cast<uint32_t>(n)) {
   Value* dst = size_ <= kInline ? inline_ : (heap_ = new Value[size_]);
-  std::memcpy(dst, data, size_ * sizeof(Value));
+  // An arity-0 tuple may come from an empty vector's data(), which is
+  // allowed to be null; memcpy's arguments may not be.
+  if (size_ != 0) std::memcpy(dst, data, size_ * sizeof(Value));
 }
 
 Tuple::Tuple(Tuple&& other) noexcept : size_(other.size_) {

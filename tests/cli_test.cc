@@ -46,6 +46,46 @@ TEST(CliParseTest, Rejections) {
   EXPECT_FALSE(ParseCliArgs({"a.dl", "b.dl"}).ok());  // two files
 }
 
+TEST(CliParseTest, FaultsFlag) {
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--faults=drop:0.1,dup:0.05,reorder:0.2,corrupt:0.15,delay:0.1,"
+       "polls:5",
+       "--retransmit", "p.dl"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_DOUBLE_EQ(options->faults.drop, 0.1);
+  EXPECT_DOUBLE_EQ(options->faults.duplicate, 0.05);
+  EXPECT_DOUBLE_EQ(options->faults.reorder, 0.2);
+  EXPECT_DOUBLE_EQ(options->faults.corrupt, 0.15);
+  EXPECT_DOUBLE_EQ(options->faults.delay, 0.1);
+  EXPECT_EQ(options->faults.delay_polls, 5);
+  EXPECT_TRUE(options->retransmit);
+  EXPECT_FALSE(ParseCliArgs({"--faults=drop", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--faults=jitter:0.1", "p.dl"}).ok());
+}
+
+TEST(CliRunTest, FaultyRunWithRetransmitStaysExact) {
+  // --scheme=example3 forces real cross-processor traffic (auto would
+  // pick the communication-free scheme, leaving nothing to inject on).
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--scheme=example3", "--faults=drop:0.2,corrupt:0.2",
+       "--retransmit", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("anc: 6 tuples"), std::string::npos);
+}
+
+TEST(CliRunTest, FaultyRunWithoutRetransmitReportsTheFault) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--scheme=example3", "--faults=drop:0.4", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("channel fault"),
+            std::string::npos)
+      << report.status().ToString();
+}
+
 TEST(CliRunTest, SequentialReport) {
   StatusOr<CliOptions> options = ParseCliArgs({"--mode=seq", "p.dl"});
   ASSERT_TRUE(options.ok());

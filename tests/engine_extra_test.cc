@@ -183,7 +183,8 @@ TEST(EngineExtraTest, PoolingCostAccounted) {
   uint64_t remote_out =
       result->out_tuples_total - result->workers[0].out_inserted;
   EXPECT_EQ(result->pooling_messages, remote_out);
-  EXPECT_EQ(result->pooling_bytes, remote_out * 14);  // arity-2 tuples
+  EXPECT_EQ(result->pooling_bytes,
+            remote_out * MessageWireBytes(2));  // arity-2 tuples
 }
 
 TEST(EngineExtraTest, SingleProcessorPoolingIsFree) {

@@ -1,0 +1,511 @@
+// Fault-injection suite: the paper assumes reliable channels; these
+// tests violate that assumption on purpose and check the two promises
+// the runtime makes about it:
+//   1. with retransmit enabled, the parallel fixpoint equals the serial
+//      semi-naive result under every injected fault mode;
+//   2. with retransmit disabled, injected drops/duplicates/corruption
+//      surface as a non-OK Status from RunParallel — never a silent
+//      wrong answer.
+#include "core/fault.h"
+
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/generators.h"
+#include "workload/programs.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::AncestorScheme;
+using testing_util::DumpOutput;
+using testing_util::MakeAncestorBundle;
+using testing_util::MakeAncestorSetup;
+using testing_util::ParseOrDie;
+using testing_util::SequentialAncestor;
+using testing_util::ValidateOrDie;
+
+// ---------------------------------------------------------------------
+// FaultInjector unit behavior
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameChannelSameDecisions) {
+  FaultSpec spec;
+  spec.drop = 0.2;
+  spec.duplicate = 0.2;
+  spec.reorder = 0.2;
+  spec.delay = 0.2;
+  FaultInjector a(spec, 1, 2);
+  FaultInjector b(spec, 1, 2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.Next(), b.Next()) << "decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, DifferentChannelsDifferentStreams) {
+  FaultSpec spec;
+  spec.drop = 0.5;
+  FaultInjector a(spec, 0, 1);
+  FaultInjector b(spec, 1, 0);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, ZeroSpecAlwaysDelivers) {
+  FaultInjector injector(FaultSpec{}, 0, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.Next(), FaultInjector::Action::kDeliver);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Channel-level injection semantics (probability-1 specs make every
+// action deterministic without relying on the seed).
+// ---------------------------------------------------------------------
+
+TEST(FaultChannelTest, DropLosesEveryMessage) {
+  Channel channel;
+  FaultSpec spec;
+  spec.drop = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  for (Value i = 0; i < 5; ++i) channel.Send(Message{1, Tuple{i, i}});
+  std::vector<Message> out;
+  EXPECT_EQ(channel.Drain(&out), 0u);
+  EXPECT_FALSE(channel.HasPending());
+  // Logical sends still count (the termination detector must see the
+  // imbalance a loss creates).
+  EXPECT_EQ(channel.total_sent(), 5u);
+  EXPECT_EQ(channel.fault_counters().dropped, 5u);
+}
+
+TEST(FaultChannelTest, DuplicateDeliversTwiceWithoutRetransmit) {
+  Channel channel;
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.Send(Message{1, Tuple{7, 8}});
+  std::vector<Message> out;
+  EXPECT_EQ(channel.Drain(&out), 2u);
+  EXPECT_EQ(channel.fault_counters().duplicated, 1u);
+}
+
+TEST(FaultChannelTest, ReliableChannelDiscardsDuplicates) {
+  Channel channel;
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.EnableRetransmit();
+  channel.Send(Message{1, Tuple{7, 8}});
+  channel.Send(Message{1, Tuple{9, 10}});
+  std::vector<Message> out;
+  EXPECT_EQ(channel.Drain(&out), 2u);  // one logical delivery each
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(channel.fault_counters().duplicates_discarded, 2u);
+}
+
+TEST(FaultChannelTest, ReorderFlipsDeliveryOrder) {
+  Channel channel;
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.Send(Message{1, Tuple{1, 0}});
+  channel.Send(Message{1, Tuple{2, 0}});
+  channel.Send(Message{1, Tuple{3, 0}});
+  std::vector<Message> out;
+  EXPECT_EQ(channel.Drain(&out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  // Every message jumped the queue, so arrival order is reversed.
+  EXPECT_EQ(out[0].tuple[0], 3u);
+  EXPECT_EQ(out[2].tuple[0], 1u);
+}
+
+TEST(FaultChannelTest, ReliableChannelReordersBackInOrder) {
+  Channel channel;
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.EnableRetransmit();
+  channel.Send(Message{1, Tuple{1, 0}});
+  channel.Send(Message{1, Tuple{2, 0}});
+  channel.Send(Message{1, Tuple{3, 0}});
+  std::vector<Message> out;
+  size_t delivered = channel.Drain(&out);
+  while (delivered < 3) {
+    channel.RetransmitUnacked();
+    delivered += channel.Drain(&out);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].tuple[0], static_cast<Value>(i + 1));
+  }
+}
+
+TEST(FaultChannelTest, DelayedFrameStaysPendingThenMatures) {
+  Channel channel;
+  FaultSpec spec;
+  spec.delay = 1.0;
+  spec.delay_polls = 2;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.Send(Message{1, Tuple{4, 5}});
+  std::vector<Message> out;
+  EXPECT_EQ(channel.Drain(&out), 0u);
+  // A delayed frame is in transit, not lost: the channel must still
+  // report pending so the receiver keeps polling instead of declaring
+  // quiescence.
+  EXPECT_TRUE(channel.HasPending());
+  EXPECT_EQ(channel.Drain(&out), 1u);  // matured after delay_polls drains
+  EXPECT_FALSE(channel.HasPending());
+  EXPECT_EQ(channel.fault_counters().delayed, 1u);
+}
+
+TEST(FaultChannelTest, CorruptByteModeBreaksChecksum) {
+  Channel channel;
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(EncodeMessage(Message{5, Tuple{1, 2}}, &bytes).ok());
+  channel.SendBytes(bytes);
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_EQ(channel.DrainBytes(&out), 1u);
+  EXPECT_FALSE(FrameChecksumOk(out[0].data(), out[0].size()));
+  EXPECT_EQ(channel.fault_counters().corrupted, 1u);
+}
+
+TEST(FaultChannelTest, ReliableChannelRecoversCorruptViaRetransmit) {
+  Channel channel;
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.EnableRetransmit();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(EncodeMessage(Message{5, Tuple{1, 2}}, &bytes).ok());
+  channel.SendBytes(bytes);
+  std::vector<std::vector<uint8_t>> out;
+  // The receiver discards the corrupt frame without acknowledging it...
+  EXPECT_EQ(channel.DrainBytes(&out), 0u);
+  EXPECT_EQ(channel.fault_counters().corrupt_discarded, 1u);
+  // ...and the sender's retransmission (which bypasses injection)
+  // delivers the intact copy.
+  EXPECT_EQ(channel.RetransmitUnacked(), 1u);
+  ASSERT_EQ(channel.DrainBytes(&out), 1u);
+  EXPECT_TRUE(FrameChecksumOk(out[0].data(), out[0].size()));
+}
+
+TEST(FaultChannelTest, RetransmitStopsOnceAcknowledged) {
+  Channel channel;
+  FaultSpec spec;
+  spec.drop = 1.0;
+  channel.ConfigureFaults(spec, 0, 1);
+  channel.EnableRetransmit();
+  channel.Send(Message{1, Tuple{1, 2}});
+  std::vector<Message> out;
+  EXPECT_EQ(channel.Drain(&out), 0u);  // first transmission dropped
+  EXPECT_EQ(channel.RetransmitUnacked(), 1u);
+  EXPECT_EQ(channel.Drain(&out), 1u);  // recovered
+  // Delivered frames are acknowledged; nothing left to resend.
+  EXPECT_EQ(channel.RetransmitUnacked(), 0u);
+  EXPECT_EQ(channel.fault_counters().retransmitted, 1u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end fault matrix: ancestor (Example 3 scheme) and points_to
+// (general scheme) under every fault mode, against the serial result.
+// ---------------------------------------------------------------------
+
+struct FaultMode {
+  const char* name;
+  FaultSpec spec;
+};
+
+std::vector<FaultMode> FaultModes() {
+  std::vector<FaultMode> modes;
+  FaultSpec drop;
+  drop.drop = 0.3;
+  modes.push_back({"drop", drop});
+  FaultSpec duplicate;
+  duplicate.duplicate = 0.3;
+  modes.push_back({"duplicate", duplicate});
+  FaultSpec reorder;
+  reorder.reorder = 0.5;
+  modes.push_back({"reorder", reorder});
+  FaultSpec corrupt;
+  corrupt.corrupt = 0.25;
+  modes.push_back({"corrupt", corrupt});
+  FaultSpec delay;
+  delay.delay = 0.4;
+  delay.delay_polls = 2;
+  modes.push_back({"delay", delay});
+  FaultSpec mixed;
+  mixed.drop = 0.1;
+  mixed.duplicate = 0.1;
+  mixed.reorder = 0.1;
+  mixed.corrupt = 0.1;
+  mixed.delay = 0.1;
+  modes.push_back({"mixed", mixed});
+  return modes;
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(RoundRobinAndThreads, FaultMatrixTest,
+                         ::testing::Values(false, true));
+
+TEST_P(FaultMatrixTest, AncestorExactUnderEveryFaultModeWithRetransmit) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 9);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+
+  for (const FaultMode& mode : FaultModes()) {
+    RewriteBundle bundle =
+        MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+    ParallelOptions options;
+    options.use_threads = GetParam();
+    options.serialize_messages = true;  // corruption needs wire bytes
+    options.faults = mode.spec;
+    options.retransmit = true;
+    StatusOr<ParallelResult> result =
+        RunParallel(bundle, &setup->edb, options);
+    ASSERT_TRUE(result.ok())
+        << mode.name << ": " << result.status().ToString();
+    EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected)
+        << mode.name;
+    EXPECT_TRUE(result->faults.any()) << mode.name << ": injector idle";
+  }
+}
+
+// Synthetic points-to input: assignments and heap operations over
+// `vars` variables and `objs` abstract objects.
+void GenPointsToFacts(SymbolTable* symbols, Database* db, int vars,
+                      int objs, int facts, uint64_t seed) {
+  SplitMix64 rng(seed);
+  Relation& new_rel = db->GetOrCreate(symbols->Intern("new"), 2);
+  Relation& assign = db->GetOrCreate(symbols->Intern("assign"), 2);
+  Relation& load = db->GetOrCreate(symbols->Intern("load"), 2);
+  Relation& store = db->GetOrCreate(symbols->Intern("store"), 2);
+  auto var = [&](uint64_t i) {
+    return symbols->Intern("v" + std::to_string(i));
+  };
+  auto obj = [&](uint64_t i) {
+    return symbols->Intern("o" + std::to_string(i));
+  };
+  for (int i = 0; i < facts; ++i) {
+    new_rel.Insert(Tuple{var(rng.NextBelow(vars)), obj(rng.NextBelow(objs))});
+    assign.Insert(Tuple{var(rng.NextBelow(vars)), var(rng.NextBelow(vars))});
+    load.Insert(Tuple{var(rng.NextBelow(vars)), var(rng.NextBelow(vars))});
+    store.Insert(Tuple{var(rng.NextBelow(vars)), var(rng.NextBelow(vars))});
+  }
+}
+
+TEST_P(FaultMatrixTest, PointsToExactUnderEveryFaultModeWithRetransmit) {
+  SymbolTable symbols;
+  StatusOr<NamedProgram> named = FindProgram("points_to");
+  ASSERT_TRUE(named.ok());
+  Program program = ParseOrDie(named->source, &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+
+  // Serial reference.
+  Database seq_db;
+  GenPointsToFacts(&symbols, &seq_db, 12, 6, 25, 11);
+  EvalStats seq;
+  ASSERT_TRUE(SemiNaiveEvaluate(program, info, &seq_db, &seq).ok());
+  std::string expected_pt =
+      seq_db.Find(symbols.Lookup("pt"))->ToSortedString(symbols);
+  std::string expected_heap =
+      seq_db.Find(symbols.Lookup("heap_pt"))->ToSortedString(symbols);
+
+  // General-scheme rewrite: partition every rule on its object column.
+  Symbol o = symbols.Intern("O");
+  std::vector<GeneralRuleSpec> specs(program.rules.size());
+  for (GeneralRuleSpec& spec : specs) {
+    spec.vars = {o};
+    spec.h = DiscriminatingFunction::UniformHash(3);
+  }
+  StatusOr<RewriteBundle> bundle = RewriteGeneral(program, info, 3, specs);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  for (const FaultMode& mode : FaultModes()) {
+    Database edb;
+    GenPointsToFacts(&symbols, &edb, 12, 6, 25, 11);
+    ParallelOptions options;
+    options.use_threads = GetParam();
+    options.serialize_messages = true;
+    options.faults = mode.spec;
+    options.retransmit = true;
+    StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, options);
+    ASSERT_TRUE(result.ok())
+        << mode.name << ": " << result.status().ToString();
+    EXPECT_EQ(
+        result->output.Find(symbols.Lookup("pt"))->ToSortedString(symbols),
+        expected_pt)
+        << mode.name;
+    EXPECT_EQ(result->output.Find(symbols.Lookup("heap_pt"))
+                  ->ToSortedString(symbols),
+              expected_heap)
+        << mode.name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Without retransmit, faults are *detected*, not repaired: RunParallel
+// must return a non-OK Status — never a silently wrong fixpoint.
+// ---------------------------------------------------------------------
+
+TEST_P(FaultMatrixTest, DropsWithoutRetransmitFailTheRun) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 9);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  ParallelOptions options;
+  options.use_threads = GetParam();
+  options.faults.drop = 0.3;
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("channel fault"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_P(FaultMatrixTest, DuplicatesWithoutRetransmitFailTheRun) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 9);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  ParallelOptions options;
+  options.use_threads = GetParam();
+  options.faults.duplicate = 0.4;
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb, options);
+  // Duplicated deliveries unbalance the counters the other way; the
+  // detector reports them just like losses. (The fixpoint itself would
+  // survive duplicates — t_in relations are sets — but an undetected
+  // counter imbalance would livelock the threaded run.)
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("channel fault"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_P(FaultMatrixTest, CorruptionWithoutRetransmitFailTheRun) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 9);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  ParallelOptions options;
+  options.use_threads = GetParam();
+  options.serialize_messages = true;
+  options.faults.corrupt = 0.3;
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb, options);
+  // A corrupted frame fails its checksum at decode; the worker's Status
+  // propagates out of RunParallel (the tentpole path: DrainChannels ->
+  // Step -> RunLoop -> RunParallel).
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("bad frame"), std::string::npos)
+      << result.status().ToString();
+}
+
+// ---------------------------------------------------------------------
+// Termination detection under injected delays: quiescence must not be
+// declared while frames are still in transit.
+// ---------------------------------------------------------------------
+
+TEST_P(FaultMatrixTest, DelaysAloneNeverCauseFalseQuiescence) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 30, 60, 9);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  ParallelOptions options;
+  options.use_threads = GetParam();
+  options.faults.delay = 0.6;
+  options.faults.delay_polls = 4;
+  // No retransmit: delayed frames arrive late but are never lost, so
+  // the run must still terminate with the exact answer. If the detector
+  // ever declared quiescence with a frame still delayed, tuples would
+  // be missing from the output.
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected);
+  EXPECT_GT(result->faults.delayed, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Options plumbing and validation.
+// ---------------------------------------------------------------------
+
+TEST(FaultOptionsTest, RetransmitWithoutFaultsIsExact) {
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 25, 50, 3);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 3);
+  ParallelOptions options;
+  options.retransmit = true;
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected);
+  EXPECT_EQ(result->faults.dropped, 0u);
+  EXPECT_EQ(result->faults.corrupted, 0u);
+}
+
+TEST(FaultOptionsTest, InvalidSpecsAreRejected) {
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 4);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 2);
+
+  ParallelOptions negative;
+  negative.faults.drop = -0.1;
+  EXPECT_FALSE(RunParallel(bundle, &setup->edb, negative).ok());
+
+  ParallelOptions oversum;
+  oversum.faults.drop = 0.7;
+  oversum.faults.delay = 0.7;
+  EXPECT_FALSE(RunParallel(bundle, &setup->edb, oversum).ok());
+
+  ParallelOptions corrupt_shared;
+  corrupt_shared.faults.corrupt = 0.5;  // but serialize_messages = false
+  EXPECT_FALSE(RunParallel(bundle, &setup->edb, corrupt_shared).ok());
+
+  ParallelOptions bad_delay;
+  bad_delay.faults.delay = 0.5;
+  bad_delay.faults.delay_polls = 0;
+  EXPECT_FALSE(RunParallel(bundle, &setup->edb, bad_delay).ok());
+}
+
+TEST(FaultOptionsTest, DeterministicModeReproducesFaultCounters) {
+  // Round-robin scheduling + seeded per-channel injectors: two
+  // identical runs inject exactly the same faults.
+  auto setup = MakeAncestorSetup();
+  GenRandomGraph(&setup->symbols, &setup->edb, "par", 25, 50, 5);
+  FaultCounters first;
+  for (int run = 0; run < 2; ++run) {
+    RewriteBundle bundle =
+        MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 3);
+    ParallelOptions options;
+    options.use_threads = false;
+    options.serialize_messages = true;
+    options.faults.drop = 0.2;
+    options.faults.corrupt = 0.2;
+    options.retransmit = true;
+    StatusOr<ParallelResult> result =
+        RunParallel(bundle, &setup->edb, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (run == 0) {
+      first = result->faults;
+      EXPECT_TRUE(first.any());
+    } else {
+      EXPECT_EQ(result->faults.dropped, first.dropped);
+      EXPECT_EQ(result->faults.corrupted, first.corrupted);
+      EXPECT_EQ(result->faults.retransmitted, first.retransmitted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdatalog

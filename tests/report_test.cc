@@ -54,9 +54,9 @@ TEST(ReportTest, ChannelMatrixRendered) {
 }
 
 TEST(ReportTest, BytesAccounting) {
-  // Arity-2 tuples: 6 + 8 = 14 bytes per cross message.
+  // Arity-2 tuples: header + 2 values + checksum per cross message.
   ParallelResult result = RunAncestor(4);
-  EXPECT_EQ(result.cross_bytes, result.cross_tuples * 14);
+  EXPECT_EQ(result.cross_bytes, result.cross_tuples * MessageWireBytes(2));
 }
 
 TEST(ReportTest, ByteMatrixConsistentWithTupleMatrix) {
@@ -64,7 +64,7 @@ TEST(ReportTest, ByteMatrixConsistentWithTupleMatrix) {
   for (size_t i = 0; i < result.workers.size(); ++i) {
     for (size_t j = 0; j < result.workers.size(); ++j) {
       EXPECT_EQ(result.bytes_matrix[i][j],
-                result.channel_matrix[i][j] * 14);
+                result.channel_matrix[i][j] * MessageWireBytes(2));
     }
   }
 }

@@ -40,12 +40,14 @@ struct WorkerRig {
 
   // Runs init + round-robin steps to quiescence.
   void RunToQuiescence() {
-    for (auto& w : workers) w->Init();
+    for (auto& w : workers) ASSERT_TRUE(w->Init().ok());
     bool progress = true;
     while (progress) {
       progress = false;
       for (auto& w : workers) {
-        if (w->Step()) progress = true;
+        StatusOr<bool> stepped = w->Step();
+        ASSERT_TRUE(stepped.ok()) << stepped.status().ToString();
+        if (*stepped) progress = true;
       }
     }
   }
@@ -57,7 +59,9 @@ TEST(WorkerTest, StepWithoutInputIsNoOp) {
       MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 2);
   WorkerRig rig = WorkerRig::Create(bundle, &setup->edb);
   // No Init, no data: stepping does nothing.
-  EXPECT_FALSE(rig.workers[0]->Step());
+  StatusOr<bool> stepped = rig.workers[0]->Step();
+  ASSERT_TRUE(stepped.ok());
+  EXPECT_FALSE(*stepped);
   EXPECT_EQ(rig.workers[0]->stats().rounds, 0);
 }
 
