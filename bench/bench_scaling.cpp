@@ -65,6 +65,13 @@ int main() {
           .Set("mean_firings", mean)
           .Set("imbalance", imbalance)
           .Set("cross_msgs", r.cross_tuples)
+          .Set("cross_frames", r.cross_frames)
+          .Set("cross_bytes", r.cross_bytes)
+          .Set("tuples_per_frame",
+               r.cross_frames == 0
+                   ? 0.0
+                   : static_cast<double>(r.cross_tuples) /
+                         static_cast<double>(r.cross_frames))
           .Set("speedup_net0", cheap == 0 ? 0.0 : seq_work / cheap)
           .Set("speedup_net4", costly == 0 ? 0.0 : seq_work / costly)
           .Set("wall_ms", r.wall_seconds * 1e3);

@@ -39,7 +39,7 @@ Status UsageError(const std::string& message) {
       " [--scheme=auto|example1|example2|example3|general|tradeoff]"
       " [--rho=R] [--seed=S] [--dump=pred] [--facts=pred:file]"
       " [--faults=drop:P,dup:P,reorder:P,corrupt:P,delay:P,polls:N]"
-      " [--retransmit]"
+      " [--retransmit] [--block-tuples=N]"
       " [--program=name] [--print-programs] [--stats] [program.dl]");
 }
 
@@ -300,6 +300,13 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
         }
         pos = comma == std::string::npos ? rest.size() : comma + 1;
       }
+    } else if (ConsumePrefix(arg, "--block-tuples=", &rest)) {
+      int value = std::atoi(rest.c_str());
+      if (value < 1 || static_cast<uint32_t>(value) > kMaxBlockTuples) {
+        return UsageError("block-tuples must be in [1, " +
+                          std::to_string(kMaxBlockTuples) + "]");
+      }
+      options.block_tuples = value;
     } else if (arg == "--retransmit") {
       options.retransmit = true;
     } else if (arg == "--advise") {
@@ -490,6 +497,7 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   popts.faults = options.faults;
   popts.faults.seed = options.seed;
   popts.retransmit = options.retransmit;
+  popts.block_tuples = options.block_tuples;
   // Corruption flips wire bytes, so it needs the serialized channels.
   if (popts.faults.corrupt > 0) popts.serialize_messages = true;
   StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, popts);
@@ -498,6 +506,8 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   out += "firings: " + U64(result->total_firings) +
          ", output tuples: " + U64(result->pooled_tuples) +
          ", cross messages: " + U64(result->cross_tuples) +
+         " in " + U64(result->cross_frames) + " frames (" +
+         U64(result->cross_bytes) + " bytes)" +
          ", self-routed: " + U64(result->self_tuples) + ", " +
          TextTable::Cell(result->wall_seconds * 1e3, 2) + " ms\n";
   if (result->faults.any()) {

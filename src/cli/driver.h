@@ -42,6 +42,11 @@
 //                               losses and fails; with it, it recovers.
 //     --retransmit              enable the at-least-once channel
 //                               protocol (resend unacknowledged frames)
+//     --block-tuples=N          flush threshold for the block wire
+//                               protocol: outgoing tuples accumulate per
+//                               (destination, predicate) and ship as one
+//                               frame per block, flushing mid-round at N
+//                               tuples (default 256; 1 = per-tuple frames)
 //     --stratified              sequential modes only: evaluate SCC
 //                               strata bottom-up
 //     --print-programs          print the rewritten per-processor programs
@@ -92,9 +97,10 @@ struct CliOptions {
   bool advise = false;
   bool explain = false;
   bool stratified = false;
-  // --faults / --retransmit (parallel mode only).
+  // --faults / --retransmit / --block-tuples (parallel mode only).
   FaultSpec faults;
   bool retransmit = false;
+  int block_tuples = 256;
   double net_cost = 1.0;  // --advise cost model
   std::string program_path;  // informational; source is passed separately
   std::string builtin;       // name of a built-in program, if chosen

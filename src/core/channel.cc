@@ -25,39 +25,41 @@ void Channel::EnableRetransmit() {
   EnsureExtras().reliable = true;
 }
 
-void Channel::SendLocked(Message message) {
+void Channel::EnqueueBlockLocked(TupleBlock block) {
+  if (fx_ == nullptr) {
+    queue_.push_back(std::move(block));
+    return;
+  }
   Extras& fx = *fx_;
   uint64_t seq = fx.next_seq++;
-  total_bytes_ += message.WireBytes();
-  ++total_sent_;
-  if (fx.reliable) fx.unacked.emplace_back(seq, message);
+  if (fx.reliable) fx.unacked.emplace_back(seq, block);
   FaultInjector::Action action = fx.injector != nullptr
                                      ? fx.injector->Next()
                                      : FaultInjector::Action::kDeliver;
   switch (action) {
     case FaultInjector::Action::kDrop:
       ++fx.counters.dropped;
-      return;  // never enqueued
+      return;  // never enqueued — every tuple of the block is lost
     case FaultInjector::Action::kDuplicate:
       ++fx.counters.duplicated;
-      fx.queue.emplace_back(seq, message);
-      fx.queue.emplace_back(seq, std::move(message));
+      fx.queue.emplace_back(seq, block);
+      fx.queue.emplace_back(seq, std::move(block));
       return;
     case FaultInjector::Action::kReorder:
       ++fx.counters.reordered;
-      fx.queue.insert(fx.queue.begin(), {seq, std::move(message)});
+      fx.queue.insert(fx.queue.begin(), {seq, std::move(block)});
       return;
     case FaultInjector::Action::kDelay:
       ++fx.counters.delayed;
       fx.delayed.push_back(
-          {seq, std::move(message),
+          {seq, std::move(block),
            fx.drain_calls + fx.injector->delay_polls()});
       return;
     case FaultInjector::Action::kCorrupt:
-      // Message-object mode has no bytes to flip; only serialized
+      // Block-object mode has no bytes to flip; only serialized
       // channels can corrupt. Deliver intact, without counting.
     case FaultInjector::Action::kDeliver:
-      fx.queue.emplace_back(seq, std::move(message));
+      fx.queue.emplace_back(seq, std::move(block));
       return;
   }
 }
@@ -65,8 +67,6 @@ void Channel::SendLocked(Message message) {
 void Channel::SendBytesLocked(std::vector<uint8_t> bytes) {
   Extras& fx = *fx_;
   uint64_t seq = fx.next_seq++;
-  total_bytes_ += bytes.size();
-  ++total_sent_;
   if (fx.reliable) fx.unacked_bytes.emplace_back(seq, bytes);
   FaultInjector::Action action = fx.injector != nullptr
                                      ? fx.injector->Next()
@@ -108,41 +108,44 @@ void Channel::ReleaseMatureLocked() {
   Extras& fx = *fx_;
   if (!fx.delayed.empty()) {
     size_t kept = 0;
-    for (Extras::DelayedMessage& d : fx.delayed) {
+    for (size_t k = 0; k < fx.delayed.size(); ++k) {
+      Extras::DelayedBlock& d = fx.delayed[k];
       if (d.release_at <= fx.drain_calls) {
-        fx.queue.emplace_back(d.seq, std::move(d.message));
+        fx.queue.emplace_back(d.seq, std::move(d.block));
       } else {
-        fx.delayed[kept++] = std::move(d);
+        // Compact in place; guard the no-release case against
+        // self-move-assignment, which would gut the block's buffer.
+        if (kept != k) fx.delayed[kept] = std::move(d);
+        ++kept;
       }
     }
     fx.delayed.resize(kept);
   }
   if (!fx.delayed_bytes.empty()) {
     size_t kept = 0;
-    for (Extras::DelayedBytes& d : fx.delayed_bytes) {
+    for (size_t k = 0; k < fx.delayed_bytes.size(); ++k) {
+      Extras::DelayedBytes& d = fx.delayed_bytes[k];
       if (d.release_at <= fx.drain_calls) {
         fx.byte_queue.emplace_back(d.seq, std::move(d.bytes));
       } else {
-        fx.delayed_bytes[kept++] = std::move(d);
+        if (kept != k) fx.delayed_bytes[kept] = std::move(d);
+        ++kept;
       }
     }
     fx.delayed_bytes.resize(kept);
   }
 }
 
-void Channel::DeliverMessageLocked(Message message,
-                                   std::vector<Message>* out,
-                                   size_t* delivered) {
+void Channel::DeliverBlockLocked(TupleBlock block,
+                                 std::vector<TupleBlock>* out) {
   Extras& fx = *fx_;
-  out->push_back(std::move(message));
-  ++*delivered;
+  out->push_back(std::move(block));
   ++fx.deliver_next;
   // Flush consecutive frames that were buffered ahead of the gap.
   for (auto it = fx.ahead.find(fx.deliver_next); it != fx.ahead.end();
        it = fx.ahead.find(fx.deliver_next)) {
     out->push_back(std::move(it->second));
     fx.ahead.erase(it);
-    ++*delivered;
     ++fx.deliver_next;
   }
 }
@@ -164,30 +167,27 @@ void Channel::DeliverBytesLocked(std::vector<uint8_t> bytes,
   }
 }
 
-size_t Channel::DrainLocked(std::vector<Message>* out) {
+size_t Channel::DrainBlocksLocked(std::vector<TupleBlock>* out) {
   Extras& fx = *fx_;
   ++fx.drain_calls;
   ReleaseMatureLocked();
-  size_t delivered = 0;
+  size_t start = out->size();
   if (!fx.reliable) {
-    for (auto& [seq, m] : fx.queue) {
-      out->push_back(std::move(m));
-      ++delivered;
-    }
+    for (auto& [seq, b] : fx.queue) out->push_back(std::move(b));
     fx.queue.clear();
-    return delivered;
+    return out->size() - start;
   }
-  for (auto& [seq, m] : fx.queue) {
+  for (auto& [seq, b] : fx.queue) {
     if (seq < fx.deliver_next) {
       ++fx.counters.duplicates_discarded;
     } else if (seq == fx.deliver_next) {
-      DeliverMessageLocked(std::move(m), out, &delivered);
-    } else if (!fx.ahead.emplace(seq, std::move(m)).second) {
+      DeliverBlockLocked(std::move(b), out);
+    } else if (!fx.ahead.emplace(seq, std::move(b)).second) {
       ++fx.counters.duplicates_discarded;
     }
   }
   fx.queue.clear();
-  return delivered;
+  return out->size() - start;
 }
 
 size_t Channel::DrainBytesLocked(std::vector<std::vector<uint8_t>>* out) {
@@ -242,9 +242,9 @@ size_t Channel::RetransmitUnacked() {
     fx.unacked_bytes.pop_front();
   }
   size_t resent = 0;
-  for (const auto& [seq, m] : fx.unacked) {
+  for (const auto& [seq, b] : fx.unacked) {
     if (fx.ahead.count(seq) != 0) continue;  // receiver already holds it
-    fx.queue.emplace_back(seq, m);
+    fx.queue.emplace_back(seq, b);
     ++fx.counters.retransmitted;
     ++resent;
   }

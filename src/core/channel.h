@@ -4,13 +4,22 @@
 // j (and no other processor) receives this data without error within
 // some finite time."
 //
+// The unit of communication is a *block*: a run of same-predicate tuples
+// accumulated by the sender and shipped as one frame — one header, one
+// checksum, one sequence number, one lock acquisition — instead of one
+// frame per tuple. Statistics stay tuple-granular (total_sent counts
+// tuples) so the Mattern termination counters and the channel matrix
+// keep their paper semantics; frames are tracked separately.
+//
 // The reliability assumption is exactly that — an assumption — so the
 // channel also supports a deterministic fault-injection mode
 // (core/fault.h) that violates it on purpose, and an optional
 // at-least-once retransmit protocol (per-channel sequence numbers,
 // receiver-side dedup and in-order delivery, sender-side resend of
 // unacknowledged frames) that restores it. Both are opt-in: the default
-// configuration keeps the original lock-append fast path.
+// configuration keeps the original lock-append fast path. Faults and
+// sequence numbers apply per block: a dropped block loses all its
+// tuples, one retransmission recovers all of them.
 #ifndef PDATALOG_CORE_CHANNEL_H_
 #define PDATALOG_CORE_CHANNEL_H_
 
@@ -27,30 +36,77 @@
 
 namespace pdatalog {
 
-// Single source of truth for the fixed wire encoding's layout
-// (core/wire.cc implements the encoder against these constants;
+// Single source of truth for the fixed wire encodings' layout
+// (core/wire.cc implements the encoders against these constants;
 // tests/wire_test.cc asserts WireBytes() == EncodeMessage().size()
 // across arities so the byte statistics cannot drift from the real
 // encoder).
 //
-// Frame layout (little-endian):
+// Legacy per-tuple frame (little-endian):
 //   u32 predicate id | u16 arity | arity * u32 values | u32 checksum
+//
+// Block frame (little-endian):
+//   u32 predicate id | u16 (kBlockArityFlag | arity) | u32 count |
+//   count * u32 per column (columnar: column 0's values, then column
+//   1's, ...) | u32 checksum
+//
+// The arity word's high bit distinguishes the two: kBlockArityFlag |
+// arity always exceeds kMaxWireArity, so a legacy decoder rejects a
+// block frame instead of misreading it (and vice versa).
 inline constexpr size_t kWireHeaderBytes = 6;    // u32 predicate + u16 arity
 inline constexpr size_t kWireValueBytes = 4;     // u32 per column
 inline constexpr size_t kWireChecksumBytes = 4;  // FNV-1a over the frame
 inline constexpr int kMaxWireArity = 32;
+
+inline constexpr uint16_t kBlockArityFlag = 0x8000;
+// u32 predicate + u16 flagged arity + u32 tuple count.
+inline constexpr size_t kBlockHeaderBytes = 10;
+// Sanity cap on the per-frame tuple count; bounds decode-side buffer
+// growth against a corrupted count field that beat the checksum.
+inline constexpr uint32_t kMaxBlockTuples = 1u << 20;
 
 constexpr size_t MessageWireBytes(int arity) {
   return kWireHeaderBytes + static_cast<size_t>(arity) * kWireValueBytes +
          kWireChecksumBytes;
 }
 
-// One tuple of a derived predicate in flight on a channel.
+constexpr size_t BlockWireBytes(int arity, uint32_t count) {
+  return kBlockHeaderBytes +
+         static_cast<size_t>(arity) * count * kWireValueBytes +
+         kWireChecksumBytes;
+}
+
+// One tuple of a derived predicate in flight on a channel (legacy unit;
+// kept for tests and for callers that deal in single tuples).
 struct Message {
   Symbol predicate;
   Tuple tuple;
 
   size_t WireBytes() const { return MessageWireBytes(tuple.arity()); }
+};
+
+// A run of same-predicate tuples shipped as one frame. Values are
+// stored row-major (append order) — the wire encoder transposes to the
+// columnar layout, and the decoder transposes back.
+struct TupleBlock {
+  Symbol predicate = 0;
+  int arity = 0;
+  uint32_t count = 0;
+  std::vector<Value> values;  // count * arity, row-major
+
+  void Append(const Value* vals, int n) {
+    values.insert(values.end(), vals, vals + n);
+    ++count;
+  }
+  const Value* row(uint32_t r) const {
+    return values.data() + static_cast<size_t>(r) * arity;
+  }
+  size_t WireBytes() const { return BlockWireBytes(arity, count); }
+  // Keeps capacity for the next accumulation cycle.
+  void Reset() {
+    count = 0;
+    values.clear();
+  }
 };
 
 // A single directed channel. Senders append under a lock; the receiver
@@ -59,67 +115,93 @@ struct Message {
 // sender and receiver race, not because senders race each other.
 class Channel {
  public:
+  // Legacy single-tuple send: wraps the message into a one-tuple block
+  // frame. Byte accounting uses the legacy per-message layout so
+  // existing per-tuple statistics stay exact.
   void Send(Message message) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (fx_ != nullptr) {
-      SendLocked(std::move(message));
-      return;
-    }
     total_bytes_ += message.WireBytes();
-    queue_.push_back(std::move(message));
     ++total_sent_;
+    ++total_frames_;
+    EnqueueBlockLocked(BlockOfOne(std::move(message)));
   }
 
-  // Appends a whole batch under one lock acquisition. The workers
-  // buffer per-destination messages within a round and flush once
-  // (`batch` keeps its capacity for the next round).
+  // Appends a whole batch under one lock acquisition, one block frame
+  // per message (`batch` keeps its capacity for the next round).
   void SendBatch(std::vector<Message>* batch) {
     if (batch->empty()) return;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (fx_ != nullptr) {
-      for (Message& m : *batch) SendLocked(std::move(m));
-      batch->clear();
-      return;
-    }
-    queue_.reserve(queue_.size() + batch->size());
+    if (fx_ == nullptr) queue_.reserve(queue_.size() + batch->size());
     for (Message& m : *batch) {
       total_bytes_ += m.WireBytes();
-      queue_.push_back(std::move(m));
+      ++total_sent_;
+      ++total_frames_;
+      EnqueueBlockLocked(BlockOfOne(std::move(m)));
     }
-    total_sent_ += batch->size();
     batch->clear();
   }
 
-  // Moves all pending (deliverable) messages into `out` (appending).
-  // Returns the number drained — in retransmit mode this counts only
-  // newly delivered logical messages, never duplicates.
-  size_t Drain(std::vector<Message>* out) {
+  // Enqueues one block as one frame: one lock acquisition, one sequence
+  // number, one fault-injection decision for all `block.count` tuples.
+  void SendBlock(TupleBlock block) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (fx_ != nullptr) return DrainLocked(out);
-    size_t n = queue_.size();
-    out->reserve(out->size() + n);
-    for (Message& m : queue_) out->push_back(std::move(m));
-    queue_.clear();
-    return n;
+    total_bytes_ += block.WireBytes();
+    total_sent_ += block.count;
+    ++total_frames_;
+    EnqueueBlockLocked(std::move(block));
   }
 
-  // Serialized (message-passing) mode: enqueue one encoded message
-  // frame. Each frame holds exactly one message's bytes.
-  void SendBytes(std::vector<uint8_t> bytes) {
+  // Moves all pending (deliverable) blocks into `out` (appending).
+  // Returns the number of *tuples* drained — in retransmit mode this
+  // counts only newly delivered logical tuples, never duplicates.
+  size_t DrainBlocks(std::vector<TupleBlock>* out) {
     std::lock_guard<std::mutex> lock(mutex_);
+    size_t start = out->size();
+    if (fx_ != nullptr) {
+      DrainBlocksLocked(out);
+    } else {
+      out->reserve(out->size() + queue_.size());
+      for (TupleBlock& b : queue_) out->push_back(std::move(b));
+      queue_.clear();
+    }
+    size_t tuples = 0;
+    for (size_t i = start; i < out->size(); ++i) tuples += (*out)[i].count;
+    return tuples;
+  }
+
+  // Legacy drain: explodes blocks back into per-tuple messages.
+  // Returns the number of tuples drained.
+  size_t Drain(std::vector<Message>* out) {
+    std::vector<TupleBlock> blocks;
+    size_t tuples = DrainBlocks(&blocks);
+    out->reserve(out->size() + tuples);
+    for (TupleBlock& b : blocks) {
+      for (uint32_t r = 0; r < b.count; ++r) {
+        out->push_back(Message{b.predicate, Tuple(b.row(r), b.arity)});
+      }
+    }
+    return tuples;
+  }
+
+  // Serialized (message-passing) mode: enqueue one encoded frame
+  // carrying `tuples` tuples (a block frame, or a legacy single-message
+  // frame with the default).
+  void SendBytes(std::vector<uint8_t> bytes, uint32_t tuples = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_bytes_ += bytes.size();
+    total_sent_ += tuples;
+    ++total_frames_;
     if (fx_ != nullptr) {
       SendBytesLocked(std::move(bytes));
       return;
     }
-    total_bytes_ += bytes.size();
     byte_queue_.push_back(std::move(bytes));
-    ++total_sent_;
   }
 
   // Drains all deliverable encoded frames (appending). Returns the
-  // number drained. In retransmit mode, frames whose checksum the
-  // injector broke are discarded here (and later retransmitted by the
-  // sender) instead of being surfaced.
+  // number of frames drained. In retransmit mode, frames whose checksum
+  // the injector broke are discarded here (and later retransmitted by
+  // the sender) instead of being surfaced.
   size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (fx_ != nullptr) return DrainBytesLocked(out);
@@ -159,8 +241,8 @@ class Channel {
   // Injected-event counts for this channel (zeroes when no injector).
   FaultCounters fault_counters() const;
 
-  // Total messages ever sent on this channel (monotone; for stats).
-  // Counts logical sends: a dropped message still counts, a retransmit
+  // Total tuples ever sent on this channel (monotone; for stats).
+  // Counts logical sends: a dropped tuple still counts, a retransmit
   // does not count again.
   uint64_t total_sent() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -171,6 +253,13 @@ class Channel {
   uint64_t total_bytes() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return total_bytes_;
+  }
+
+  // Total frames ever sent on this channel; total_sent() / total_frames()
+  // is the achieved batching factor.
+  uint64_t total_frames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_frames_;
   }
 
  private:
@@ -185,13 +274,13 @@ class Channel {
     uint64_t drain_calls = 0;   // receiver: poll clock for delays
 
     // Seq-stamped in-flight queues (replace queue_/byte_queue_).
-    std::vector<std::pair<uint64_t, Message>> queue;
+    std::vector<std::pair<uint64_t, TupleBlock>> queue;
     std::vector<std::pair<uint64_t, std::vector<uint8_t>>> byte_queue;
 
     // Delayed frames, released once drain_calls reaches release_at.
-    struct DelayedMessage {
+    struct DelayedBlock {
       uint64_t seq;
-      Message message;
+      TupleBlock block;
       uint64_t release_at;
     };
     struct DelayedBytes {
@@ -199,41 +288,52 @@ class Channel {
       std::vector<uint8_t> bytes;
       uint64_t release_at;
     };
-    std::vector<DelayedMessage> delayed;
+    std::vector<DelayedBlock> delayed;
     std::vector<DelayedBytes> delayed_bytes;
 
     // Receiver: frames ahead of a gap (reliable mode only).
-    std::map<uint64_t, Message> ahead;
+    std::map<uint64_t, TupleBlock> ahead;
     std::map<uint64_t, std::vector<uint8_t>> ahead_bytes;
 
     // Sender: copies awaiting acknowledgement (reliable mode only).
-    std::deque<std::pair<uint64_t, Message>> unacked;
+    std::deque<std::pair<uint64_t, TupleBlock>> unacked;
     std::deque<std::pair<uint64_t, std::vector<uint8_t>>> unacked_bytes;
 
     FaultCounters counters;
   };
 
+  static TupleBlock BlockOfOne(Message message) {
+    TupleBlock block;
+    block.predicate = message.predicate;
+    block.arity = message.tuple.arity();
+    block.Append(message.tuple.data(), message.tuple.arity());
+    return block;
+  }
+
   Extras& EnsureExtras();
-  void SendLocked(Message message);
+  // Fast queue append, or the seq-stamping/fault-injecting slow path.
+  // Accounting (total_sent_/total_bytes_/total_frames_) happens in the
+  // public callers, before the block is visible to the receiver.
+  void EnqueueBlockLocked(TupleBlock block);
   void SendBytesLocked(std::vector<uint8_t> bytes);
-  size_t DrainLocked(std::vector<Message>* out);
+  size_t DrainBlocksLocked(std::vector<TupleBlock>* out);
   size_t DrainBytesLocked(std::vector<std::vector<uint8_t>>* out);
   bool HasPendingLocked() const;
   void ReleaseMatureLocked();
   // Delivers one in-order frame and flushes any directly following
   // frames buffered in ahead/ahead_bytes.
-  void DeliverMessageLocked(Message message, std::vector<Message>* out,
-                            size_t* delivered);
+  void DeliverBlockLocked(TupleBlock block, std::vector<TupleBlock>* out);
   void DeliverBytesLocked(std::vector<uint8_t> bytes,
                           std::vector<std::vector<uint8_t>>* out,
                           size_t* delivered);
 
   mutable std::mutex mutex_;
-  std::vector<Message> queue_;
+  std::vector<TupleBlock> queue_;
   std::vector<std::vector<uint8_t>> byte_queue_;  // serialized mode
   std::unique_ptr<Extras> fx_;
-  uint64_t total_sent_ = 0;
-  uint64_t total_bytes_ = 0;
+  uint64_t total_sent_ = 0;    // tuples
+  uint64_t total_bytes_ = 0;   // wire bytes
+  uint64_t total_frames_ = 0;  // frames (blocks or encoded frames)
 };
 
 // The full P x P channel matrix. channel(i, j) carries data from
@@ -287,7 +387,7 @@ class CommNetwork {
     return total;
   }
 
-  // Per-channel totals, [from][to].
+  // Per-channel tuple totals, [from][to].
   std::vector<std::vector<uint64_t>> SentMatrix() const {
     std::vector<std::vector<uint64_t>> m(
         num_processors_, std::vector<uint64_t>(num_processors_, 0));
@@ -306,6 +406,18 @@ class CommNetwork {
     for (int i = 0; i < num_processors_; ++i) {
       for (int j = 0; j < num_processors_; ++j) {
         m[i][j] = channel(i, j).total_bytes();
+      }
+    }
+    return m;
+  }
+
+  // Per-channel frame totals, [from][to].
+  std::vector<std::vector<uint64_t>> FramesMatrix() const {
+    std::vector<std::vector<uint64_t>> m(
+        num_processors_, std::vector<uint64_t>(num_processors_, 0));
+    for (int i = 0; i < num_processors_; ++i) {
+      for (int j = 0; j < num_processors_; ++j) {
+        m[i][j] = channel(i, j).total_frames();
       }
     }
     return m;

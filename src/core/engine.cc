@@ -89,11 +89,17 @@ Status ValidateFaultSpec(const ParallelOptions& options) {
     return Status::InvalidArgument("fault delay_polls must be >= 1");
   }
   if (f.corrupt > 0.0 && !options.serialize_messages) {
-    // Shared-memory channels move Message objects, so there are no wire
+    // Shared-memory channels move block objects, so there are no wire
     // bytes to corrupt; refuse rather than silently not injecting.
     return Status::InvalidArgument(
         "corrupt faults require serialize_messages (there are no wire "
         "bytes to corrupt on shared-memory channels)");
+  }
+  if (options.block_tuples < 1 ||
+      static_cast<uint32_t>(options.block_tuples) > kMaxBlockTuples) {
+    return Status::InvalidArgument(
+        "block_tuples must be in [1, " + std::to_string(kMaxBlockTuples) +
+        "]");
   }
   return Status::Ok();
 }
@@ -144,6 +150,7 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
     if (!worker.ok()) return worker.status();
     (*worker)->set_serialize_messages(options.serialize_messages);
     (*worker)->set_retransmit(options.retransmit);
+    (*worker)->set_block_tuples(options.block_tuples);
     workers.push_back(std::move(*worker));
   }
 
@@ -210,10 +217,14 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
   result.wall_seconds = watch.ElapsedSeconds();
   result.channel_matrix = network.SentMatrix();
   result.bytes_matrix = network.BytesMatrix();
+  result.frames_matrix = network.FramesMatrix();
   result.faults = network.AggregateFaultCounters();
   for (int i = 0; i < bundle.num_processors; ++i) {
     for (int j = 0; j < bundle.num_processors; ++j) {
-      if (i != j) result.cross_bytes += result.bytes_matrix[i][j];
+      if (i != j) {
+        result.cross_bytes += result.bytes_matrix[i][j];
+        result.cross_frames += result.frames_matrix[i][j];
+      }
     }
   }
   for (auto& worker : workers) {
@@ -263,6 +274,8 @@ StatusOr<ParallelResult> RunParallelStratified(
                               std::vector<uint64_t>(num_processors, 0));
   total.bytes_matrix.assign(num_processors,
                             std::vector<uint64_t>(num_processors, 0));
+  total.frames_matrix.assign(num_processors,
+                             std::vector<uint64_t>(num_processors, 0));
 
   for (size_t s = 0; s < strat.strata.size(); ++s) {
     Program sub;
@@ -300,6 +313,7 @@ StatusOr<ParallelResult> RunParallelStratified(
     total.total_firings += result->total_firings;
     total.cross_tuples += result->cross_tuples;
     total.cross_bytes += result->cross_bytes;
+    total.cross_frames += result->cross_frames;
     total.self_tuples += result->self_tuples;
     total.out_tuples_total += result->out_tuples_total;
     total.pooling_messages += result->pooling_messages;
@@ -315,10 +329,12 @@ StatusOr<ParallelResult> RunParallelStratified(
       total.workers[i].sent_cross += w.sent_cross;
       total.workers[i].sent_self += w.sent_self;
       total.workers[i].broadcasts += w.broadcasts;
+      total.workers[i].frames += w.frames;
       total.workers[i].rows_examined += w.rows_examined;
       for (int j = 0; j < num_processors; ++j) {
         total.channel_matrix[i][j] += result->channel_matrix[i][j];
         total.bytes_matrix[i][j] += result->bytes_matrix[i][j];
+        total.frames_matrix[i][j] += result->frames_matrix[i][j];
       }
       // Concatenate round logs stratum after stratum (the strata are
       // sequential phases, so this is the true global round order).

@@ -38,6 +38,12 @@ struct ParallelOptions {
   // deliver in order exactly once. Makes the fixpoint exact under drop/
   // duplicate/reorder/corrupt/delay faults.
   bool retransmit = false;
+  // Flush threshold for the block-oriented wire protocol: each worker
+  // accumulates outgoing tuples per (destination, predicate) and ships
+  // one frame per block — at the end of the round, or mid-round once a
+  // block holds this many tuples. 1 reproduces the per-tuple protocol
+  // (one frame per tuple); must be in [1, kMaxBlockTuples].
+  int block_tuples = 256;
 };
 
 struct ParallelResult {
@@ -52,11 +58,14 @@ struct ParallelResult {
   std::vector<std::vector<uint64_t>> channel_matrix;
   // bytes_matrix[i][j] = wire bytes sent from processor i to j.
   std::vector<std::vector<uint64_t>> bytes_matrix;
+  // frames_matrix[i][j] = block frames sent from processor i to j.
+  std::vector<std::vector<uint64_t>> frames_matrix;
 
   uint64_t total_firings = 0;
-  uint64_t cross_tuples = 0;   // inter-processor messages
+  uint64_t cross_tuples = 0;   // inter-processor tuples
   uint64_t cross_bytes = 0;    // inter-processor wire bytes
-  uint64_t self_tuples = 0;    // self-routed messages (no communication)
+  uint64_t cross_frames = 0;   // inter-processor block frames
+  uint64_t self_tuples = 0;    // self-routed tuples (no communication)
   // Sum over processors of distinct t_out tuples; exceeds the pooled
   // output size exactly when computation was redundant.
   uint64_t out_tuples_total = 0;

@@ -13,12 +13,18 @@ std::string RenderReport(const ParallelResult& result,
   const size_t n = result.workers.size();
 
   if (options.totals) {
+    double tuples_per_frame =
+        result.cross_frames == 0
+            ? 0.0
+            : static_cast<double>(result.cross_tuples) /
+                  static_cast<double>(result.cross_frames);
     out += "totals: " + std::to_string(result.total_firings) +
            " firings, " + std::to_string(result.pooled_tuples) +
            " output tuples, " + std::to_string(result.cross_tuples) +
            " cross messages (" + std::to_string(result.cross_bytes) +
-           " bytes), " + std::to_string(result.self_tuples) +
-           " self-routed, " +
+           " bytes, " + std::to_string(result.cross_frames) + " frames, " +
+           TextTable::Cell(tuples_per_frame, 1) + " tuples/frame), " +
+           std::to_string(result.self_tuples) + " self-routed, " +
            TextTable::Cell(result.wall_seconds * 1e3, 2) + " ms\n";
     if (result.faults.any()) {
       out += "faults: " + std::to_string(result.faults.dropped) +
@@ -37,7 +43,7 @@ std::string RenderReport(const ParallelResult& result,
 
   if (options.per_worker) {
     TextTable table({"proc", "rounds", "firings", "out", "in", "recv",
-                     "sent-cross", "sent-self", "rows examined"});
+                     "sent-cross", "sent-self", "frames", "rows examined"});
     for (size_t i = 0; i < n; ++i) {
       const WorkerStats& w = result.workers[i];
       table.AddRow({TextTable::Cell(static_cast<int>(i)),
@@ -47,6 +53,7 @@ std::string RenderReport(const ParallelResult& result,
                     TextTable::Cell(w.received),
                     TextTable::Cell(w.sent_cross),
                     TextTable::Cell(w.sent_self),
+                    TextTable::Cell(w.frames),
                     TextTable::Cell(w.rows_examined)});
     }
     out += table.ToString();

@@ -6,8 +6,17 @@
 // space (beyond the read-only symbol table, which a real deployment
 // would replicate).
 //
-// Wire format (little-endian), sizes defined once in core/channel.h:
-//   u32 predicate id | u16 arity | arity * u32 values | u32 checksum
+// Wire formats (little-endian), sizes defined once in core/channel.h:
+//   legacy: u32 predicate id | u16 arity | arity * u32 values | u32 checksum
+//   block:  u32 predicate id | u16 (kBlockArityFlag | arity) | u32 count |
+//           columnar values (count * u32 for column 0, then column 1, ...)
+//           | u32 checksum
+//
+// The block frame amortizes the header, checksum, and count bookkeeping
+// over a whole run of same-predicate tuples, and its columnar value
+// layout keeps each column's bytes contiguous on the wire. The flagged
+// arity word keeps the two formats mutually unintelligible: a legacy
+// decoder sees an impossible arity in a block frame and vice versa.
 //
 // The trailing checksum is FNV-1a over the frame's preceding bytes, so
 // a corrupted frame is *detected* at decode time and surfaces as a
@@ -39,6 +48,21 @@ StatusOr<std::vector<uint8_t>> EncodeBatch(
 
 // Decodes a concatenated batch.
 StatusOr<std::vector<Message>> DecodeBatch(const std::vector<uint8_t>& data);
+
+// Appends the block-frame encoding of `block` to `out` (columnar value
+// layout). Fails (appending nothing) on oversized arity, an empty or
+// oversized tuple count, or a value buffer that does not match
+// arity * count.
+Status EncodeBlock(const TupleBlock& block, std::vector<uint8_t>* out);
+
+// Decodes one block frame starting at `data[*offset]` into `block`
+// (reusing its buffer; the row-major transpose of the wire's columnar
+// values), advancing *offset. Fails on truncated input, a legacy
+// (non-block) frame, oversized arity or count, or checksum mismatch —
+// `block` is left unspecified on failure and *offset is not advanced
+// past the bad frame.
+Status DecodeBlockInto(const std::vector<uint8_t>& data, size_t* offset,
+                       TupleBlock* block);
 
 // True iff the frame ends in a u32 equal to the FNV-1a hash of the
 // preceding bytes. Used by reliable channels to discard corrupted

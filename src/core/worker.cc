@@ -102,7 +102,15 @@ Status Worker::Setup() {
     }
   }
 
-  send_buffers_.resize(num_processors_);
+  // One accumulation block per (destination, derived predicate); the
+  // slot order follows bundle_->derived so SendTuple indexes a flat
+  // array instead of hashing.
+  num_derived_ = static_cast<int>(bundle_->derived.size());
+  pred_slot_.reserve(bundle_->derived.size());
+  for (size_t k = 0; k < bundle_->derived.size(); ++k) {
+    pred_slot_[bundle_->derived[k]] = static_cast<int>(k);
+  }
+  send_blocks_.resize(static_cast<size_t>(num_processors_) * num_derived_);
 
   // Precompile the sending rules: per-predicate routing tables with
   // resolved variable positions and flattened pattern checks, so
@@ -183,30 +191,58 @@ Status Worker::Init() {
   return send_status_;
 }
 
+StatusOr<size_t> Worker::IngestBlock(const TupleBlock& block, int from) {
+  auto in_it = bundle_->in_name.find(block.predicate);
+  Relation* in_rel = in_it == bundle_->in_name.end()
+                         ? nullptr
+                         : local_db_.Find(in_it->second);
+  if (in_rel == nullptr || in_rel->arity() != block.arity) {
+    // A corrupted frame can pass the checksum only with probability
+    // 2^-32, but a bug in the sending rules would land here too; both
+    // must fail the run rather than feed wrong tuples to the fixpoint.
+    return Status::Internal(
+        "worker " + std::to_string(id_) +
+        ": received tuple block for unknown predicate id " +
+        std::to_string(block.predicate) + " (arity " +
+        std::to_string(block.arity) + ") from processor " +
+        std::to_string(from));
+  }
+  stats_.in_inserted +=
+      in_rel->InsertBlock(block.values.data(), block.arity, block.count);
+  return static_cast<size_t>(block.count);
+}
+
 StatusOr<size_t> Worker::DrainChannels() {
-  drain_buffer_.clear();
   size_t total = 0;
   for (int j = 0; j < num_processors_; ++j) {
-    total += network_->channel(j, id_).Drain(&drain_buffer_);
+    Channel& channel = network_->channel(j, id_);
+    block_buffer_.clear();
+    channel.DrainBlocks(&block_buffer_);
+    for (const TupleBlock& block : block_buffer_) {
+      StatusOr<size_t> n = IngestBlock(block, j);
+      if (!n.ok()) return n.status();
+      total += *n;
+    }
     if (serialize_messages_) {
       byte_buffer_.clear();
-      network_->channel(j, id_).DrainBytes(&byte_buffer_);
-      // Count decoded messages, not drained byte-vectors: a vector may
-      // carry several encoded messages, and the termination detector's
-      // receive counter must agree with the per-message send counter.
+      channel.DrainBytes(&byte_buffer_);
+      // Count decoded tuples, not drained frames: the termination
+      // detector's receive counter must agree with the block-granular
+      // CountSend(n) on the send side.
       for (const std::vector<uint8_t>& bytes : byte_buffer_) {
         size_t offset = 0;
         while (offset < bytes.size()) {
-          StatusOr<Message> m = DecodeMessage(bytes, &offset);
-          if (!m.ok()) {
-            return Status(m.status().code(),
+          Status decoded = DecodeBlockInto(bytes, &offset, &decode_block_);
+          if (!decoded.ok()) {
+            return Status(decoded.code(),
                           "worker " + std::to_string(id_) +
                               ": bad frame on channel " + std::to_string(j) +
                               "->" + std::to_string(id_) + ": " +
-                              m.status().message());
+                              decoded.message());
           }
-          drain_buffer_.push_back(std::move(*m));
-          ++total;
+          StatusOr<size_t> n = IngestBlock(decode_block_, j);
+          if (!n.ok()) return n.status();
+          total += *n;
         }
       }
     }
@@ -215,22 +251,6 @@ StatusOr<size_t> Worker::DrainChannels() {
   detector_->CountReceive(id_, total);
   stats_.received += total;
   pending_received_ += total;
-  for (Message& m : drain_buffer_) {
-    auto in_it = bundle_->in_name.find(m.predicate);
-    Relation* in_rel =
-        in_it == bundle_->in_name.end() ? nullptr : local_db_.Find(in_it->second);
-    if (in_rel == nullptr || in_rel->arity() != m.tuple.arity()) {
-      // A corrupted frame can pass the checksum only with probability
-      // 2^-32, but a bug in the sending rules would land here too; both
-      // must fail the run rather than feed a wrong tuple to the fixpoint.
-      return Status::Internal(
-          "worker " + std::to_string(id_) +
-          ": received tuple for unknown predicate id " +
-          std::to_string(m.predicate) + " (arity " +
-          std::to_string(m.tuple.arity()) + ")");
-    }
-    if (in_rel->Insert(m.tuple)) ++stats_.in_inserted;
-  }
   return total;
 }
 
@@ -308,9 +328,38 @@ void Worker::ProcessRound() {
   current_log_ = nullptr;
 }
 
+void Worker::FlushBlock(int dest, TupleBlock* block) {
+  if (block->count == 0) return;
+  // Count the whole block before it becomes visible to the receiver
+  // (Mattern's rule), in one detector call instead of one per tuple.
+  detector_->CountSend(id_, block->count);
+  ++stats_.frames;
+  Channel& channel = network_->channel(id_, dest);
+  if (serialize_messages_) {
+    std::vector<uint8_t> bytes;
+    Status encoded = EncodeBlock(*block, &bytes);
+    if (!encoded.ok()) {
+      // Plan validation rejects arity > kMaxWireArity up front, so
+      // this is defensive. The block is not enqueued; the latched
+      // status aborts the run before quiescence is ever declared.
+      if (send_status_.ok()) send_status_ = std::move(encoded);
+      block->Reset();
+      return;
+    }
+    channel.SendBytes(std::move(bytes), block->count);
+  } else {
+    channel.SendBlock(std::move(*block));
+  }
+  block->Reset();
+}
+
 void Worker::FlushSends() {
   for (int dest = 0; dest < num_processors_; ++dest) {
-    network_->channel(id_, dest).SendBatch(&send_buffers_[dest]);
+    for (int slot = 0; slot < num_derived_; ++slot) {
+      FlushBlock(dest, &send_blocks_[static_cast<size_t>(dest) *
+                                         num_derived_ +
+                                     slot]);
+    }
   }
 }
 
@@ -322,30 +371,34 @@ void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
   dests_.clear();
   stats_.broadcasts +=
       static_cast<uint64_t>(router_.Route(pred, tuple, &dests_));
+  if (dests_.empty()) return;
 
+  int slot;
+  if (pred == last_pred_) {
+    slot = last_slot_;
+  } else {
+    slot = pred_slot_.at(pred);
+    last_pred_ = pred;
+    last_slot_ = slot;
+  }
   for (int dest : dests_) {
-    detector_->CountSend(id_, 1);
-    if (serialize_messages_) {
-      // Serialized mode enqueues immediately (each message is its own
-      // byte vector on the wire).
-      std::vector<uint8_t> bytes;
-      Status encoded = EncodeMessage(Message{pred, tuple}, &bytes);
-      if (!encoded.ok()) {
-        // Plan validation rejects arity > kMaxWireArity up front, so
-        // this is defensive. The message is not enqueued; the latched
-        // status aborts the run before quiescence is ever declared.
-        if (send_status_.ok()) send_status_ = std::move(encoded);
-        continue;
-      }
-      network_->channel(id_, dest).SendBytes(std::move(bytes));
-    } else {
-      send_buffers_[dest].push_back(Message{pred, tuple});
+    TupleBlock& block =
+        send_blocks_[static_cast<size_t>(dest) * num_derived_ + slot];
+    if (block.count == 0) {
+      block.predicate = pred;
+      block.arity = tuple.arity();
     }
+    block.Append(tuple.data(), tuple.arity());
     if (current_log_ != nullptr) ++current_log_->sent_to[dest];
     if (dest == id_) {
       ++stats_.sent_self;
     } else {
       ++stats_.sent_cross;
+    }
+    // Mid-round flush once the block is full, bounding buffered bytes
+    // and letting the receiver overlap ingestion with our round.
+    if (block.count >= static_cast<uint32_t>(block_tuples_)) {
+      FlushBlock(dest, &block);
     }
   }
 }

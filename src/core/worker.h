@@ -32,10 +32,11 @@ struct WorkerStats {
   uint64_t firings = 0;          // successful ground substitutions
   uint64_t out_inserted = 0;     // distinct tuples added to t_out
   uint64_t in_inserted = 0;      // distinct tuples added to t_in
-  uint64_t received = 0;         // messages drained (incl. self-channel)
-  uint64_t sent_cross = 0;       // messages to other processors
-  uint64_t sent_self = 0;        // messages routed to self
+  uint64_t received = 0;         // tuples drained (incl. self-channel)
+  uint64_t sent_cross = 0;       // tuples to other processors
+  uint64_t sent_self = 0;        // tuples routed to self
   uint64_t broadcasts = 0;       // tuples broadcast for undetermined sends
+  uint64_t frames = 0;           // block frames flushed (all destinations)
   uint64_t rows_examined = 0;
 };
 
@@ -81,6 +82,12 @@ class Worker {
   // EnableRetransmit. Set before Init().
   void set_retransmit(bool on) { retransmit_ = on; }
 
+  // Flush threshold for the per-(destination, predicate) send blocks: a
+  // block normally flushes at the end of the round, but flushes early
+  // once it holds `n` tuples. n == 1 degenerates to one frame per tuple
+  // (the old per-tuple protocol). Set before Init().
+  void set_block_tuples(int n) { block_tuples_ = n; }
+
   const WorkerStats& stats() const { return stats_; }
   const std::vector<RoundLog>& round_logs() const { return round_logs_; }
   const Database& local_db() const { return local_db_; }
@@ -96,18 +103,28 @@ class Worker {
 
   Status Setup();
 
-  // Appends all pending channel messages into the t_in relations.
-  // Returns the number of messages drained, or an error when an
-  // incoming frame fails to decode or names an unknown predicate.
+  // Appends all pending channel blocks into the t_in relations (bulk
+  // ingest via Relation::InsertBlock; no per-tuple Message objects).
+  // Returns the number of tuples drained, or an error when an incoming
+  // frame fails to decode or names an unknown predicate.
   StatusOr<size_t> DrainChannels();
+  // Ingests one received block into its t_in relation; returns the
+  // block's tuple count on success.
+  StatusOr<size_t> IngestBlock(const TupleBlock& block, int from);
 
   // Runs the delta variants of every processing rule over the current
   // t_in deltas, then routes new t_out tuples.
   void ProcessRound();
 
   // Applies the sending rules to one freshly derived `pred` tuple,
-  // buffering per destination; FlushSends() enqueues the buffers.
+  // appending it to the (destination, predicate) accumulation blocks.
+  // A block that reaches block_tuples_ flushes immediately;
+  // FlushSends() flushes the remainder at the end of the round.
   void SendTuple(Symbol pred, const Tuple& tuple);
+  // Ships one accumulated block as a single frame: one CountSend(n),
+  // one lock acquisition, one sequence number — shared by the
+  // shared-memory, serialized, and retransmit configurations.
+  void FlushBlock(int dest, TupleBlock* block);
   void FlushSends();
 
   void EnsureLocalIndexes();
@@ -133,7 +150,6 @@ class Worker {
   std::unordered_map<Symbol, size_t> in_old_end_;   // by t_in symbol
   std::unordered_map<Symbol, size_t> out_sent_end_; // by t_out symbol
 
-  std::vector<Message> drain_buffer_;
   // Precompiled sending rules (pattern checks + routing positions per
   // predicate; see core/routing.h), built once in Setup().
   TupleRouter router_;
@@ -145,14 +161,24 @@ class Worker {
   uint64_t pending_received_ = 0;    // drained since the last round started
   bool serialize_messages_ = false;
   bool retransmit_ = false;
+  int block_tuples_ = 256;  // flush threshold (see set_block_tuples)
   // First send-side failure (encode error); SendTuple runs deep inside
   // the join callbacks, so the error is latched here and surfaced by the
   // next Step()/Init() return.
   Status send_status_;
   std::vector<std::vector<uint8_t>> byte_buffer_;  // scratch for drains
-  // Per-destination outgoing buffers, flushed once per round (one lock
-  // acquisition per destination instead of one per message).
-  std::vector<std::vector<Message>> send_buffers_;
+  std::vector<TupleBlock> block_buffer_;           // scratch for drains
+  TupleBlock decode_block_;  // reusable decode target (serialized mode)
+  // Outgoing accumulation blocks, indexed [dest * num_derived + slot]
+  // where slot is the predicate's position in bundle_->derived. Blocks
+  // keep their buffer capacity across rounds.
+  std::vector<TupleBlock> send_blocks_;
+  int num_derived_ = 0;
+  std::unordered_map<Symbol, int> pred_slot_;  // derived pred -> slot
+  // Memoized slot lookup: derivations arrive predicate-by-predicate, so
+  // the previous SendTuple's slot almost always answers the next one.
+  Symbol last_pred_ = kInvalidSymbol;
+  int last_slot_ = 0;
 };
 
 }  // namespace pdatalog

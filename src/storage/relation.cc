@@ -124,7 +124,9 @@ bool Relation::InsertView(const Value* values, int n) {
       i = (i + 1) & dedup_mask_;
     }
   }
-  if ((rows_.size() + 1) * 4 > dedup_.size() * 3) GrowDedup();
+  if ((rows_.size() + 1) * 4 > dedup_.size() * 3) {
+    GrowDedup(rows_.size() + 1);
+  }
   uint32_t id = static_cast<uint32_t>(rows_.size());
   rows_.emplace_back(values, n);
   uint64_t i = hash & dedup_mask_;
@@ -133,8 +135,43 @@ bool Relation::InsertView(const Value* values, int n) {
   return true;
 }
 
-void Relation::GrowDedup() {
-  size_t cap = dedup_.empty() ? 16 : dedup_.size() * 2;
+size_t Relation::InsertBlock(const Value* rows, int arity, uint32_t count) {
+  assert(arity == arity_);
+  if (count == 0) return 0;
+  // Reserve dedup capacity for the worst case (every row new) so the
+  // ingest loop below never rehashes mid-block.
+  if ((rows_.size() + count) * 4 > dedup_.size() * 3) {
+    GrowDedup(rows_.size() + count);
+  }
+  size_t inserted = 0;
+  const Value* values = rows;
+  for (uint32_t r = 0; r < count; ++r, values += arity) {
+    uint64_t hash = HashProjection(values, arity);
+    uint64_t i = hash & dedup_mask_;
+    bool duplicate = false;
+    while (true) {
+      const DedupSlot& slot = dedup_[i];
+      if (slot.row == kEmptySlot) break;
+      if (slot.hash == hash &&
+          std::memcmp(rows_[slot.row].data(), values,
+                      static_cast<size_t>(arity) * sizeof(Value)) == 0) {
+        duplicate = true;
+        break;
+      }
+      i = (i + 1) & dedup_mask_;
+    }
+    if (duplicate) continue;
+    uint32_t id = static_cast<uint32_t>(rows_.size());
+    rows_.emplace_back(values, arity);
+    dedup_[i] = DedupSlot{hash, id};
+    ++inserted;
+  }
+  return inserted;
+}
+
+void Relation::GrowDedup(size_t min_rows) {
+  size_t cap = dedup_.empty() ? 16 : dedup_.size();
+  while (cap * 3 < min_rows * 4) cap *= 2;
   dedup_.assign(cap, DedupSlot{0, kEmptySlot});
   dedup_mask_ = cap - 1;
   for (uint32_t id = 0; id < rows_.size(); ++id) {

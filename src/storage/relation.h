@@ -165,6 +165,13 @@ class Relation {
   // ever constructing a Tuple (the evaluator's firing hot path).
   bool InsertView(const Value* values, int n);
 
+  // Bulk ingest of `count` rows laid out contiguously row-major (a
+  // decoded TupleBlock's buffer): one dedup-capacity reservation up
+  // front, then one probe-and-append loop — the receive path never
+  // materializes a per-tuple Message. Returns the number of rows that
+  // were new.
+  size_t InsertBlock(const Value* rows, int arity, uint32_t count);
+
   bool Contains(const Tuple& tuple) const;
 
   const Tuple& row(size_t i) const { return rows_[i]; }
@@ -186,7 +193,9 @@ class Relation {
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
-  void GrowDedup();
+  // Grows the dedup table until it can hold `min_rows` rows below 3/4
+  // load (one rehash even when doubling several times).
+  void GrowDedup(size_t min_rows);
 
   int arity_;
   std::vector<Tuple> rows_;

@@ -54,18 +54,37 @@ TEST(ReportTest, ChannelMatrixRendered) {
 }
 
 TEST(ReportTest, BytesAccounting) {
-  // Arity-2 tuples: header + 2 values + checksum per cross message.
+  // Block framing: one header + count + checksum per frame, then 2
+  // columns of 4 bytes per tuple.
   ParallelResult result = RunAncestor(4);
-  EXPECT_EQ(result.cross_bytes, result.cross_tuples * MessageWireBytes(2));
+  EXPECT_GT(result.cross_frames, 0u);
+  EXPECT_LE(result.cross_frames, result.cross_tuples);
+  EXPECT_EQ(result.cross_bytes,
+            result.cross_frames * (kBlockHeaderBytes + kWireChecksumBytes) +
+                result.cross_tuples * 2 * kWireValueBytes);
 }
 
 TEST(ReportTest, ByteMatrixConsistentWithTupleMatrix) {
   ParallelResult result = RunAncestor(4);
   for (size_t i = 0; i < result.workers.size(); ++i) {
     for (size_t j = 0; j < result.workers.size(); ++j) {
-      EXPECT_EQ(result.bytes_matrix[i][j],
-                result.channel_matrix[i][j] * MessageWireBytes(2));
+      EXPECT_EQ(
+          result.bytes_matrix[i][j],
+          result.frames_matrix[i][j] *
+                  (kBlockHeaderBytes + kWireChecksumBytes) +
+              result.channel_matrix[i][j] * 2 * kWireValueBytes);
     }
+  }
+}
+
+TEST(ReportTest, FramesMatrixConsistentWithWorkerFrames) {
+  ParallelResult result = RunAncestor(4);
+  for (size_t i = 0; i < result.workers.size(); ++i) {
+    uint64_t row_frames = 0;
+    for (size_t j = 0; j < result.workers.size(); ++j) {
+      row_frames += result.frames_matrix[i][j];
+    }
+    EXPECT_EQ(row_frames, result.workers[i].frames);
   }
 }
 
