@@ -11,6 +11,7 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "obs/trace.h"
 
 using namespace pdatalog;
 using bench::AncestorHarness;
@@ -39,6 +40,19 @@ int main() {
                      "wall ms"});
     for (int P : {1, 2, 4, 8, 16}) {
       ParallelResult r = h.RunScheme(base, h.Example3(P), P);
+      // Tracer-on re-run of the same scheme: the delta quantifies the
+      // observability overhead the acceptance gate bounds (< 3% when
+      // the tracer is disabled; this measures the *enabled* side too).
+      Tracer tracer(P);
+      ParallelOptions traced_opts;
+      traced_opts.tracer = &tracer;
+      ParallelResult traced =
+          h.RunScheme(base, h.Example3(P), P, traced_opts);
+      double trace_overhead_pct =
+          r.wall_seconds == 0
+              ? 0.0
+              : (traced.wall_seconds - r.wall_seconds) / r.wall_seconds *
+                    100.0;
       uint64_t max_firings = 0;
       uint64_t sum_firings = 0;
       for (const WorkerStats& w : r.workers) {
@@ -74,7 +88,9 @@ int main() {
                          static_cast<double>(r.cross_frames))
           .Set("speedup_net0", cheap == 0 ? 0.0 : seq_work / cheap)
           .Set("speedup_net4", costly == 0 ? 0.0 : seq_work / costly)
-          .Set("wall_ms", r.wall_seconds * 1e3);
+          .Set("wall_ms", r.wall_seconds * 1e3)
+          .Set("trace_overhead_pct", trace_overhead_pct)
+          .Set("trace_events", tracer.total_events());
     }
     table.Print();
     std::printf("\n");

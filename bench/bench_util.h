@@ -101,12 +101,13 @@ struct AncestorHarness {
   }
 
   ParallelResult RunScheme(const Database& source,
-                           const LinearSchemeOptions& options, int P) {
+                           const LinearSchemeOptions& options, int P,
+                           const ParallelOptions& popts = {}) {
     StatusOr<RewriteBundle> bundle =
         RewriteLinearSirup(program, info, sirup, P, options);
     if (!bundle.ok()) Die("rewrite", bundle.status());
     Database edb = CloneEdb(source);
-    StatusOr<ParallelResult> result = RunParallel(*bundle, &edb);
+    StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, popts);
     if (!result.ok()) Die("parallel", result.status());
     return std::move(*result);
   }

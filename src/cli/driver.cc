@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
+#include <memory>
 #include <ostream>
 
 #include "core/advisor.h"
@@ -13,6 +14,9 @@
 #include "datalog/fact_io.h"
 #include "datalog/parser.h"
 #include "datalog/query.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/snapshot.h"
 #include "eval/naive.h"
 #include "workload/programs.h"
@@ -40,6 +44,7 @@ Status UsageError(const std::string& message) {
       " [--rho=R] [--seed=S] [--dump=pred] [--facts=pred:file]"
       " [--faults=drop:P,dup:P,reorder:P,corrupt:P,delay:P,polls:N]"
       " [--retransmit] [--block-tuples=N]"
+      " [--trace=FILE] [--metrics=FILE]"
       " [--program=name] [--print-programs] [--stats] [program.dl]");
 }
 
@@ -307,6 +312,12 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
                           std::to_string(kMaxBlockTuples) + "]");
       }
       options.block_tuples = value;
+    } else if (ConsumePrefix(arg, "--trace=", &rest)) {
+      if (rest.empty()) return UsageError("--trace needs a file path");
+      options.trace_file = rest;
+    } else if (ConsumePrefix(arg, "--metrics=", &rest)) {
+      if (rest.empty()) return UsageError("--metrics needs a file path");
+      options.metrics_file = rest;
     } else if (arg == "--retransmit") {
       options.retransmit = true;
     } else if (arg == "--advise") {
@@ -426,10 +437,14 @@ StatusOr<std::string> RunCli(const CliOptions& options,
 
   Stopwatch watch;
   if (options.mode != CliOptions::Mode::kParallel) {
+    // Sequential tracer: one worker ring for the evaluator's thread.
+    std::unique_ptr<Tracer> tracer;
+    if (!options.trace_file.empty()) tracer = std::make_unique<Tracer>(1);
     EvalStats stats;
     if (options.mode == CliOptions::Mode::kSequential) {
       EvalOptions eopts;
       eopts.stratified = options.stratified;
+      if (tracer != nullptr) eopts.trace = tracer->ring(0);
       PDATALOG_RETURN_IF_ERROR(SemiNaiveEvaluate(*program, info, &edb,
                                                  &stats, nullptr, eopts));
       out += options.stratified
@@ -439,14 +454,38 @@ StatusOr<std::string> RunCli(const CliOptions& options,
       PDATALOG_RETURN_IF_ERROR(NaiveEvaluate(*program, info, &edb, &stats));
       out += "mode: sequential naive\n";
     }
+    double wall_seconds = watch.ElapsedSeconds();
     out += "firings: " + U64(stats.firings) +
            ", tuples: " + U64(stats.tuples_inserted) +
            ", rounds: " + std::to_string(stats.rounds) + ", " +
-           TextTable::Cell(watch.ElapsedMillis(), 2) + " ms\n";
+           TextTable::Cell(wall_seconds * 1e3, 2) + " ms\n";
     for (Symbol p : info.predicates) {
       if (!info.IsDerived(p)) continue;
       out += "  " + symbols.Name(p) + ": " +
              std::to_string(edb.Find(p)->size()) + " tuples\n";
+    }
+    if (tracer != nullptr) {
+      PDATALOG_RETURN_IF_ERROR(
+          WriteChromeTrace(*tracer, options.trace_file));
+      out += "trace: " + U64(tracer->total_events()) + " events (" +
+             U64(tracer->total_dropped()) + " dropped) -> " +
+             options.trace_file + "\n";
+    }
+    if (!options.metrics_file.empty()) {
+      MetricsRegistry m;
+      m.AddCounter("eval.rounds", static_cast<uint64_t>(stats.rounds));
+      m.AddCounter("eval.firings", stats.firings);
+      m.AddCounter("eval.tuples_inserted", stats.tuples_inserted);
+      m.AddCounter("eval.rows_examined", stats.rows_examined);
+      if (tracer != nullptr) {
+        m.AddCounter("trace.events", tracer->total_events());
+        m.AddCounter("trace.dropped", tracer->total_dropped());
+      }
+      m.SetGauge("run.wall_seconds", wall_seconds);
+      PDATALOG_RETURN_IF_ERROR(
+          WriteMetricsJson(m, options.metrics_file));
+      out += "metrics: " + std::to_string(m.size()) + " metrics -> " +
+             options.metrics_file + "\n";
     }
     if (!options.save_directory.empty()) {
       StatusOr<size_t> saved =
@@ -500,6 +539,11 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   popts.block_tuples = options.block_tuples;
   // Corruption flips wire bytes, so it needs the serialized channels.
   if (popts.faults.corrupt > 0) popts.serialize_messages = true;
+  std::unique_ptr<Tracer> tracer;
+  if (!options.trace_file.empty()) {
+    tracer = std::make_unique<Tracer>(options.processors);
+    popts.tracer = tracer.get();
+  }
   StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, popts);
   if (!result.ok()) return result.status();
 
@@ -521,6 +565,20 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   for (Symbol p : bundle->derived) {
     out += "  " + symbols.Name(p) + ": " +
            std::to_string(result->output.Find(p)->size()) + " tuples\n";
+  }
+  if (tracer != nullptr) {
+    result->metrics.AddCounter("trace.events", tracer->total_events());
+    result->metrics.AddCounter("trace.dropped", tracer->total_dropped());
+    PDATALOG_RETURN_IF_ERROR(WriteChromeTrace(*tracer, options.trace_file));
+    out += "trace: " + U64(tracer->total_events()) + " events (" +
+           U64(tracer->total_dropped()) + " dropped) -> " +
+           options.trace_file + "\n";
+  }
+  if (!options.metrics_file.empty()) {
+    PDATALOG_RETURN_IF_ERROR(
+        WriteMetricsJson(result->metrics, options.metrics_file));
+    out += "metrics: " + std::to_string(result->metrics.size()) +
+           " metrics -> " + options.metrics_file + "\n";
   }
   if (options.print_stats) {
     ReportOptions ropts;

@@ -49,6 +49,13 @@
 //                               tuples (default 256; 1 = per-tuple frames)
 //     --stratified              sequential modes only: evaluate SCC
 //                               strata bottom-up
+//     --trace=FILE              write a Chrome-trace (Perfetto) JSON of
+//                               per-worker phase spans (init/drain/probe/
+//                               insert/encode/flush/idle) and round
+//                               instants; open at ui.perfetto.dev or
+//                               chrome://tracing
+//     --metrics=FILE            write the run's metrics registry (named
+//                               counters and gauges) as flat JSON
 //     --print-programs          print the rewritten per-processor programs
 //     --stats                   print per-processor statistics
 //
@@ -101,6 +108,9 @@ struct CliOptions {
   FaultSpec faults;
   bool retransmit = false;
   int block_tuples = 256;
+  // --trace / --metrics observability exports (empty = disabled).
+  std::string trace_file;
+  std::string metrics_file;
   double net_cost = 1.0;  // --advise cost model
   std::string program_path;  // informational; source is passed separately
   std::string builtin;       // name of a built-in program, if chosen

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/wire.h"
+#include "obs/trace.h"
 
 namespace pdatalog {
 
@@ -180,10 +181,16 @@ size_t Channel::DrainBlocksLocked(std::vector<TupleBlock>* out) {
   for (auto& [seq, b] : fx.queue) {
     if (seq < fx.deliver_next) {
       ++fx.counters.duplicates_discarded;
+      if (recv_trace_ != nullptr) {
+        recv_trace_->Instant(TracePhase::kDupFrame);
+      }
     } else if (seq == fx.deliver_next) {
       DeliverBlockLocked(std::move(b), out);
     } else if (!fx.ahead.emplace(seq, std::move(b)).second) {
       ++fx.counters.duplicates_discarded;
+      if (recv_trace_ != nullptr) {
+        recv_trace_->Instant(TracePhase::kDupFrame);
+      }
     }
   }
   fx.queue.clear();
@@ -206,18 +213,27 @@ size_t Channel::DrainBytesLocked(std::vector<std::vector<uint8_t>>* out) {
   for (auto& [seq, b] : fx.byte_queue) {
     if (seq < fx.deliver_next) {
       ++fx.counters.duplicates_discarded;
+      if (recv_trace_ != nullptr) {
+        recv_trace_->Instant(TracePhase::kDupFrame);
+      }
       continue;
     }
     // A frame the injector corrupted fails its checksum; treat it as
     // lost (no delivery, no ack) so the sender's resend recovers it.
     if (!FrameChecksumOk(b.data(), b.size())) {
       ++fx.counters.corrupt_discarded;
+      if (recv_trace_ != nullptr) {
+        recv_trace_->Instant(TracePhase::kCorruptFrame);
+      }
       continue;
     }
     if (seq == fx.deliver_next) {
       DeliverBytesLocked(std::move(b), out, &delivered);
     } else if (!fx.ahead_bytes.emplace(seq, std::move(b)).second) {
       ++fx.counters.duplicates_discarded;
+      if (recv_trace_ != nullptr) {
+        recv_trace_->Instant(TracePhase::kDupFrame);
+      }
     }
   }
   fx.byte_queue.clear();

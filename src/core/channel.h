@@ -36,6 +36,8 @@
 
 namespace pdatalog {
 
+class TraceRing;  // obs/trace.h; receive-side discard instants
+
 // Single source of truth for the fixed wire encodings' layout
 // (core/wire.cc implements the encoders against these constants;
 // tests/wire_test.cc asserts WireBytes() == EncodeMessage().size()
@@ -241,6 +243,17 @@ class Channel {
   // Injected-event counts for this channel (zeroes when no injector).
   FaultCounters fault_counters() const;
 
+  // Observability hook: drains emit instant events (corrupt frame
+  // discarded, duplicate discarded) on `ring`. Drains run only on the
+  // receiving worker's thread, so the ring must be the receiver's;
+  // configure before the run, alongside faults/retransmit. These
+  // discards happen only on the fault/retransmit slow path, so the
+  // default fast path never touches the ring.
+  void set_receive_trace(TraceRing* ring) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recv_trace_ = ring;
+  }
+
   // Total tuples ever sent on this channel (monotone; for stats).
   // Counts logical sends: a dropped tuple still counts, a retransmit
   // does not count again.
@@ -331,6 +344,7 @@ class Channel {
   std::vector<TupleBlock> queue_;
   std::vector<std::vector<uint8_t>> byte_queue_;  // serialized mode
   std::unique_ptr<Extras> fx_;
+  TraceRing* recv_trace_ = nullptr;  // receiver's ring (drain instants)
   uint64_t total_sent_ = 0;    // tuples
   uint64_t total_bytes_ = 0;   // wire bytes
   uint64_t total_frames_ = 0;  // frames (blocks or encoded frames)

@@ -5,6 +5,7 @@
 
 #include "core/partition.h"
 #include "eval/stratify.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace pdatalog {
@@ -104,6 +105,53 @@ Status ValidateFaultSpec(const ParallelOptions& options) {
   return Status::Ok();
 }
 
+// Folds one worker's stats into the run's metrics registry, both under
+// the worker's own prefix and into the run-level totals the scalar
+// ParallelResult fields are projected from.
+void AbsorbWorkerStats(int i, const WorkerStats& w, MetricsRegistry* m) {
+  const std::string prefix = "worker." + std::to_string(i) + ".";
+  m->AddCounter(prefix + "rounds", static_cast<uint64_t>(w.rounds));
+  m->AddCounter(prefix + "firings", w.firings);
+  m->AddCounter(prefix + "out_inserted", w.out_inserted);
+  m->AddCounter(prefix + "in_inserted", w.in_inserted);
+  m->AddCounter(prefix + "received", w.received);
+  m->AddCounter(prefix + "sent_cross", w.sent_cross);
+  m->AddCounter(prefix + "sent_self", w.sent_self);
+  m->AddCounter(prefix + "broadcasts", w.broadcasts);
+  m->AddCounter(prefix + "frames", w.frames);
+  m->AddCounter(prefix + "rows_examined", w.rows_examined);
+  m->AddCounter("run.firings", w.firings);
+  m->AddCounter("run.cross_tuples", w.sent_cross);
+  m->AddCounter("run.self_tuples", w.sent_self);
+}
+
+void AbsorbFaultCounters(const FaultCounters& f, MetricsRegistry* m) {
+  m->AddCounter("faults.dropped", f.dropped);
+  m->AddCounter("faults.duplicated", f.duplicated);
+  m->AddCounter("faults.reordered", f.reordered);
+  m->AddCounter("faults.corrupted", f.corrupted);
+  m->AddCounter("faults.delayed", f.delayed);
+  m->AddCounter("faults.retransmitted", f.retransmitted);
+  m->AddCounter("faults.duplicates_discarded", f.duplicates_discarded);
+  m->AddCounter("faults.corrupt_discarded", f.corrupt_discarded);
+}
+
+// Re-derives the run-level scalar fields from the registry so the text
+// report and a metrics JSON export always agree (single source of
+// truth).
+void ProjectScalarsFromMetrics(ParallelResult* result) {
+  const MetricsRegistry& m = result->metrics;
+  result->total_firings = m.counter("run.firings");
+  result->cross_tuples = m.counter("run.cross_tuples");
+  result->self_tuples = m.counter("run.self_tuples");
+  result->cross_bytes = m.counter("run.cross_bytes");
+  result->cross_frames = m.counter("run.cross_frames");
+  result->out_tuples_total = m.counter("run.out_tuples_total");
+  result->pooling_messages = m.counter("run.pooling_messages");
+  result->pooling_bytes = m.counter("run.pooling_bytes");
+  result->pooled_tuples = m.counter("run.pooled_tuples");
+}
+
 }  // namespace
 
 StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
@@ -116,6 +164,14 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
   }
   PDATALOG_RETURN_IF_ERROR(ValidateFunctions(bundle));
   PDATALOG_RETURN_IF_ERROR(ValidateFaultSpec(options));
+  if (options.tracer != nullptr &&
+      options.tracer->num_workers() < bundle.num_processors) {
+    return Status::InvalidArgument(
+        "tracer sized for " +
+        std::to_string(options.tracer->num_workers()) +
+        " workers but the bundle has " +
+        std::to_string(bundle.num_processors) + " processors");
+  }
 
   // Materialize every base relation so shared reads have a target.
   for (const auto& [pred, arity] : bundle.arity) {
@@ -151,7 +207,20 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
     (*worker)->set_serialize_messages(options.serialize_messages);
     (*worker)->set_retransmit(options.retransmit);
     (*worker)->set_block_tuples(options.block_tuples);
+    if (options.tracer != nullptr) {
+      (*worker)->set_trace(options.tracer->ring(i));
+    }
     workers.push_back(std::move(*worker));
+  }
+
+  if (options.tracer != nullptr) {
+    // Channel (i, j) is drained on worker j's thread, so its receive-
+    // side discard instants land on ring j (single-writer invariant).
+    for (int i = 0; i < bundle.num_processors; ++i) {
+      for (int j = 0; j < bundle.num_processors; ++j) {
+        network.channel(i, j).set_receive_trace(options.tracer->ring(j));
+      }
+    }
   }
 
   // Pre-build every index the workers will probe on shared (replicated)
@@ -219,40 +288,48 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
   result.bytes_matrix = network.BytesMatrix();
   result.frames_matrix = network.FramesMatrix();
   result.faults = network.AggregateFaultCounters();
+  MetricsRegistry& m = result.metrics;
   for (int i = 0; i < bundle.num_processors; ++i) {
     for (int j = 0; j < bundle.num_processors; ++j) {
       if (i != j) {
-        result.cross_bytes += result.bytes_matrix[i][j];
-        result.cross_frames += result.frames_matrix[i][j];
+        m.AddCounter("run.cross_bytes", result.bytes_matrix[i][j]);
+        m.AddCounter("run.cross_frames", result.frames_matrix[i][j]);
       }
     }
   }
-  for (auto& worker : workers) {
-    result.workers.push_back(worker->stats());
-    result.worker_rounds.push_back(worker->round_logs());
-    result.total_firings += worker->stats().firings;
-    result.cross_tuples += worker->stats().sent_cross;
-    result.self_tuples += worker->stats().sent_self;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    result.workers.push_back(workers[i]->stats());
+    result.worker_rounds.push_back(workers[i]->round_logs());
+    AbsorbWorkerStats(static_cast<int>(i), workers[i]->stats(), &m);
   }
+  AbsorbFaultCounters(result.faults, &m);
 
   // Final pooling (Section 3, step 5). Collector is processor 0: every
   // other processor ships its t_out across the network.
-  for (Symbol p : bundle.derived) {
-    Relation& pooled = result.output.GetOrCreate(p, bundle.arity.at(p));
-    int arity = bundle.arity.at(p);
-    for (size_t w = 0; w < workers.size(); ++w) {
-      const Relation& out = workers[w]->OutputRelation(p);
-      result.out_tuples_total += out.size();
-      if (w != 0) {
-        result.pooling_messages += out.size();
-        result.pooling_bytes += out.size() * MessageWireBytes(arity);
+  {
+    TraceScope pool_span(
+        options.tracer != nullptr ? options.tracer->engine_ring() : nullptr,
+        TracePhase::kPool);
+    for (Symbol p : bundle.derived) {
+      Relation& pooled = result.output.GetOrCreate(p, bundle.arity.at(p));
+      int arity = bundle.arity.at(p);
+      for (size_t w = 0; w < workers.size(); ++w) {
+        const Relation& out = workers[w]->OutputRelation(p);
+        m.AddCounter("run.out_tuples_total", out.size());
+        if (w != 0) {
+          m.AddCounter("run.pooling_messages", out.size());
+          m.AddCounter("run.pooling_bytes",
+                       out.size() * MessageWireBytes(arity));
+        }
+        for (size_t row = 0; row < out.size(); ++row) {
+          pooled.Insert(out.row(row));
+        }
       }
-      for (size_t row = 0; row < out.size(); ++row) {
-        pooled.Insert(out.row(row));
-      }
+      m.AddCounter("run.pooled_tuples", pooled.size());
     }
-    result.pooled_tuples += pooled.size();
   }
+  m.SetGauge("run.wall_seconds", result.wall_seconds);
+  ProjectScalarsFromMetrics(&result);
   return result;
 }
 
@@ -306,18 +383,11 @@ StatusOr<ParallelResult> RunParallelStratified(
       for (size_t row = 0; row < pooled->size(); ++row) {
         out.Insert(pooled->row(row));
       }
-      total.pooled_tuples += pooled->size();
     }
 
-    // Aggregate statistics.
-    total.total_firings += result->total_firings;
-    total.cross_tuples += result->cross_tuples;
-    total.cross_bytes += result->cross_bytes;
-    total.cross_frames += result->cross_frames;
-    total.self_tuples += result->self_tuples;
-    total.out_tuples_total += result->out_tuples_total;
-    total.pooling_messages += result->pooling_messages;
-    total.pooling_bytes += result->pooling_bytes;
+    // Aggregate statistics: counters add across strata; the scalar
+    // fields are re-projected from the merged registry at the end.
+    total.metrics.Merge(result->metrics);
     total.faults += result->faults;
     for (int i = 0; i < num_processors; ++i) {
       const WorkerStats& w = result->workers[i];
@@ -344,6 +414,8 @@ StatusOr<ParallelResult> RunParallelStratified(
     }
   }
   total.wall_seconds = watch.ElapsedSeconds();
+  total.metrics.SetGauge("run.wall_seconds", total.wall_seconds);
+  ProjectScalarsFromMetrics(&total);
   return total;
 }
 

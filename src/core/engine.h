@@ -10,10 +10,13 @@
 #include "core/fault.h"
 #include "core/rewrite.h"
 #include "core/worker.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace pdatalog {
+
+class Tracer;  // obs/trace.h
 
 struct ParallelOptions {
   // true: one OS thread per processor with asynchronous receives and
@@ -44,6 +47,12 @@ struct ParallelOptions {
   // block holds this many tuples. 1 reproduces the per-tuple protocol
   // (one frame per tuple); must be in [1, kMaxBlockTuples].
   int block_tuples = 256;
+  // Observability: when set, worker i records phase spans on the
+  // tracer's ring i and channel (i, j) records receive-side discard
+  // instants on ring j. The tracer must be sized for at least
+  // num_processors workers and must outlive the run. Null (the
+  // default) disables tracing entirely.
+  Tracer* tracer = nullptr;
 };
 
 struct ParallelResult {
@@ -79,6 +88,12 @@ struct ParallelResult {
   // injection is off).
   FaultCounters faults;
   double wall_seconds = 0;
+
+  // Every run-level and per-worker counter above, as named metrics
+  // (run.*, worker.N.*, faults.*). This registry is the single source
+  // of truth: the scalar fields above are projections of it, so the
+  // text report and a --metrics JSON export can never disagree.
+  MetricsRegistry metrics;
 
   // Work-model makespan: max over processors of
   //   firings_i * cpu_cost + (received_cross_i) * net_cost.

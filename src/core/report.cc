@@ -43,9 +43,21 @@ std::string RenderReport(const ParallelResult& result,
 
   if (options.per_worker) {
     TextTable table({"proc", "rounds", "firings", "out", "in", "recv",
-                     "sent-cross", "sent-self", "frames", "rows examined"});
+                     "sent-cross", "sent-self", "frames", "tup/frame",
+                     "rows examined", "rows/round"});
     for (size_t i = 0; i < n; ++i) {
       const WorkerStats& w = result.workers[i];
+      // Every ratio guards its denominator: a worker that flushed no
+      // frames (or ran no rounds) reports 0.0, not inf/nan.
+      double tuples_per_frame =
+          w.frames == 0
+              ? 0.0
+              : static_cast<double>(w.sent_cross + w.sent_self) /
+                    static_cast<double>(w.frames);
+      double rows_per_round =
+          w.rounds == 0 ? 0.0
+                        : static_cast<double>(w.rows_examined) /
+                              static_cast<double>(w.rounds);
       table.AddRow({TextTable::Cell(static_cast<int>(i)),
                     TextTable::Cell(w.rounds), TextTable::Cell(w.firings),
                     TextTable::Cell(w.out_inserted),
@@ -54,7 +66,9 @@ std::string RenderReport(const ParallelResult& result,
                     TextTable::Cell(w.sent_cross),
                     TextTable::Cell(w.sent_self),
                     TextTable::Cell(w.frames),
-                    TextTable::Cell(w.rows_examined)});
+                    TextTable::Cell(tuples_per_frame, 1),
+                    TextTable::Cell(w.rows_examined),
+                    TextTable::Cell(rows_per_round, 1)});
     }
     out += table.ToString();
   }

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/wire.h"
+#include "obs/trace.h"
 
 namespace pdatalog {
 
@@ -137,6 +138,16 @@ Status Worker::Setup() {
   return Status::Ok();
 }
 
+void Worker::set_trace(TraceRing* ring) {
+  trace_ = ring;
+  // Bulk ingests into the t_in relations happen on this worker's thread
+  // (DrainChannels), so they may share the worker's ring.
+  for (const auto& [in_sym, unused] : in_old_end_) {
+    (void)unused;
+    local_db_.Find(in_sym)->set_trace(ring);
+  }
+}
+
 const Relation& Worker::OutputRelation(Symbol p) const {
   const Relation* rel = local_db_.Find(bundle_->out_name.at(p));
   assert(rel != nullptr);
@@ -151,6 +162,7 @@ void Worker::EnsureLocalIndexes() {
 }
 
 Status Worker::Init() {
+  TraceScope span(trace_, TracePhase::kInit);
   round_logs_.emplace_back();
   current_log_ = &round_logs_.back();
   current_log_->sent_to.assign(num_processors_, 0);
@@ -213,6 +225,7 @@ StatusOr<size_t> Worker::IngestBlock(const TupleBlock& block, int from) {
 }
 
 StatusOr<size_t> Worker::DrainChannels() {
+  TraceScope span(trace_, TracePhase::kDrain);
   size_t total = 0;
   for (int j = 0; j < num_processors_; ++j) {
     Channel& channel = network_->channel(j, id_);
@@ -256,6 +269,9 @@ StatusOr<size_t> Worker::DrainChannels() {
 
 void Worker::ProcessRound() {
   ++stats_.rounds;
+  if (trace_ != nullptr) {
+    trace_->Instant(TracePhase::kRound, static_cast<uint32_t>(stats_.rounds));
+  }
   round_logs_.emplace_back();
   current_log_ = &round_logs_.back();
   current_log_->sent_to.assign(num_processors_, 0);
@@ -271,41 +287,45 @@ void Worker::ProcessRound() {
   EnsureLocalIndexes();
 
   ExecStats es;
-  for (size_t r = 0; r < local_program_->rules.size(); ++r) {
-    const auto& variants = compiled_.rules()[r];
-    if (!variants.has_derived_body) continue;
-    const Rule& rule = local_program_->rules[r];
-    Relation* head_rel = local_db_.Find(rule.head.predicate);
+  {
+    TraceScope probe(trace_, TracePhase::kProbe,
+                     static_cast<uint32_t>(stats_.rounds));
+    for (size_t r = 0; r < local_program_->rules.size(); ++r) {
+      const auto& variants = compiled_.rules()[r];
+      if (!variants.has_derived_body) continue;
+      const Rule& rule = local_program_->rules[r];
+      Relation* head_rel = local_db_.Find(rule.head.predicate);
 
-    for (const auto& [delta_idx, delta_rule] : variants.deltas) {
-      std::vector<AtomInput> inputs(rule.body.size());
-      bool empty_delta = false;
-      for (size_t b = 0; b < rule.body.size(); ++b) {
-        const Atom& atom = rule.body[b];
-        const Relation* src = body_sources_[r][b];
-        auto old_it = in_old_end_.find(atom.predicate);
-        if (old_it == in_old_end_.end()) {  // base atom
-          inputs[b] = AtomInput{src, 0, src->size()};
-          continue;
+      for (const auto& [delta_idx, delta_rule] : variants.deltas) {
+        std::vector<AtomInput> inputs(rule.body.size());
+        bool empty_delta = false;
+        for (size_t b = 0; b < rule.body.size(); ++b) {
+          const Atom& atom = rule.body[b];
+          const Relation* src = body_sources_[r][b];
+          auto old_it = in_old_end_.find(atom.predicate);
+          if (old_it == in_old_end_.end()) {  // base atom
+            inputs[b] = AtomInput{src, 0, src->size()};
+            continue;
+          }
+          size_t old_end = old_it->second;
+          size_t cur = cur_end.at(atom.predicate);
+          if (static_cast<int>(b) == delta_idx) {
+            inputs[b] = AtomInput{src, old_end, cur};
+            if (old_end == cur) empty_delta = true;
+          } else if (static_cast<int>(b) < delta_idx) {
+            inputs[b] = AtomInput{src, 0, old_end};
+          } else {
+            inputs[b] = AtomInput{src, 0, cur};
+          }
         }
-        size_t old_end = old_it->second;
-        size_t cur = cur_end.at(atom.predicate);
-        if (static_cast<int>(b) == delta_idx) {
-          inputs[b] = AtomInput{src, old_end, cur};
-          if (old_end == cur) empty_delta = true;
-        } else if (static_cast<int>(b) < delta_idx) {
-          inputs[b] = AtomInput{src, 0, old_end};
-        } else {
-          inputs[b] = AtomInput{src, 0, cur};
-        }
+        if (empty_delta) continue;
+        JoinExecutor::Execute(
+            delta_rule, inputs, bundle_->registry.get(),
+            [&](const Value* values, int n) {
+              if (head_rel->InsertView(values, n)) ++stats_.out_inserted;
+            },
+            &es, &join_scratch_);
       }
-      if (empty_delta) continue;
-      JoinExecutor::Execute(
-          delta_rule, inputs, bundle_->registry.get(),
-          [&](const Value* values, int n) {
-            if (head_rel->InsertView(values, n)) ++stats_.out_inserted;
-          },
-          &es, &join_scratch_);
     }
   }
   stats_.firings += es.firings;
@@ -337,7 +357,11 @@ void Worker::FlushBlock(int dest, TupleBlock* block) {
   Channel& channel = network_->channel(id_, dest);
   if (serialize_messages_) {
     std::vector<uint8_t> bytes;
-    Status encoded = EncodeBlock(*block, &bytes);
+    Status encoded;
+    {
+      TraceScope enc(trace_, TracePhase::kEncode, block->count);
+      encoded = EncodeBlock(*block, &bytes);
+    }
     if (!encoded.ok()) {
       // Plan validation rejects arity > kMaxWireArity up front, so
       // this is defensive. The block is not enqueued; the latched
@@ -354,6 +378,7 @@ void Worker::FlushBlock(int dest, TupleBlock* block) {
 }
 
 void Worker::FlushSends() {
+  TraceScope span(trace_, TracePhase::kFlush);
   for (int dest = 0; dest < num_processors_; ++dest) {
     for (int slot = 0; slot < num_derived_; ++slot) {
       FlushBlock(dest, &send_blocks_[static_cast<size_t>(dest) *
@@ -426,6 +451,9 @@ size_t Worker::RetransmitUnacked() {
     if (dest == id_) continue;
     resent += network_->channel(id_, dest).RetransmitUnacked();
   }
+  if (trace_ != nullptr && resent > 0) {
+    trace_->Instant(TracePhase::kRetransmit, static_cast<uint32_t>(resent));
+  }
   return resent;
 }
 
@@ -488,6 +516,7 @@ Status Worker::RunLoop() {
       continue;
     }
     detector_->SetIdle(id_, true);
+    TraceScope idle(trace_, TracePhase::kIdle);
     while (true) {
       if (detector_->TryDetect()) return detector_->run_status();
       bool pending = false;

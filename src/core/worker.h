@@ -19,6 +19,8 @@
 
 namespace pdatalog {
 
+class TraceRing;  // obs/trace.h; phase spans for this worker's thread
+
 // Per-round record used by the BSP cost model (core/cost_model.h):
 // round 0 is initialization; round k >= 1 is the k-th processing round.
 struct RoundLog {
@@ -88,6 +90,14 @@ class Worker {
   // (the old per-tuple protocol). Set before Init().
   void set_block_tuples(int n) { block_tuples_ = n; }
 
+  // Observability: record phase spans (init/drain/probe/insert/encode/
+  // flush/idle) and round instants on `ring`. The ring must be owned by
+  // this worker's thread (the engine hands worker i ring i); it is also
+  // propagated to the worker's t_in relations so bulk ingests appear as
+  // insert spans. Null (the default) disables tracing at the cost of
+  // one branch per site. Set before Init().
+  void set_trace(TraceRing* ring);
+
   const WorkerStats& stats() const { return stats_; }
   const std::vector<RoundLog>& round_logs() const { return round_logs_; }
   const Database& local_db() const { return local_db_; }
@@ -156,6 +166,7 @@ class Worker {
   std::vector<int> dests_;  // scratch for SendTuple
   JoinScratch join_scratch_;
   WorkerStats stats_;
+  TraceRing* trace_ = nullptr;  // optional per-worker trace ring
   std::vector<RoundLog> round_logs_;
   RoundLog* current_log_ = nullptr;  // active during Init/ProcessRound
   uint64_t pending_received_ = 0;    // drained since the last round started

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "eval/stratify.h"
+#include "obs/trace.h"
 
 namespace pdatalog {
 
@@ -116,18 +117,21 @@ Status SemiNaiveEvaluate(const Program& program, const ProgramInfo& info,
 
   // Round 0: rules without derived body atoms (exit rules) fire once.
   ensure_indexes();
-  for (size_t r = 0; r < program.rules.size(); ++r) {
-    const auto& variants = compiled->rules()[r];
-    if (variants.has_derived_body) continue;
-    const Rule& rule = program.rules[r];
-    Relation* head_rel = db->Find(rule.head.predicate);
-    std::vector<AtomInput> inputs(rule.body.size());
-    for (size_t i = 0; i < rule.body.size(); ++i) {
-      const Relation* rel = db->Find(rule.body[i].predicate);
-      inputs[i] = AtomInput{rel, 0, rel->size()};
+  {
+    TraceScope init(options.trace, TracePhase::kInit);
+    for (size_t r = 0; r < program.rules.size(); ++r) {
+      const auto& variants = compiled->rules()[r];
+      if (variants.has_derived_body) continue;
+      const Rule& rule = program.rules[r];
+      Relation* head_rel = db->Find(rule.head.predicate);
+      std::vector<AtomInput> inputs(rule.body.size());
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Relation* rel = db->Find(rule.body[i].predicate);
+        inputs[i] = AtomInput{rel, 0, rel->size()};
+      }
+      JoinExecutor::Execute(variants.full, inputs, constraint_eval,
+                            make_sink(head_rel), &exec_stats, &scratch);
     }
-    JoinExecutor::Execute(variants.full, inputs, constraint_eval,
-                          make_sink(head_rel), &exec_stats, &scratch);
   }
   stats->rounds = 1;
   for (auto& [p, mark] : marks) {
@@ -146,35 +150,43 @@ Status SemiNaiveEvaluate(const Program& program, const ProgramInfo& info,
     if (!any_delta) break;
 
     ensure_indexes();
-    for (size_t r = 0; r < program.rules.size(); ++r) {
-      const auto& variants = compiled->rules()[r];
-      if (!variants.has_derived_body) continue;
-      const Rule& rule = program.rules[r];
-      Relation* head_rel = db->Find(rule.head.predicate);
+    if (options.trace != nullptr) {
+      options.trace->Instant(TracePhase::kRound,
+                             static_cast<uint32_t>(stats->rounds));
+    }
+    {
+      TraceScope probe(options.trace, TracePhase::kProbe,
+                       static_cast<uint32_t>(stats->rounds));
+      for (size_t r = 0; r < program.rules.size(); ++r) {
+        const auto& variants = compiled->rules()[r];
+        if (!variants.has_derived_body) continue;
+        const Rule& rule = program.rules[r];
+        Relation* head_rel = db->Find(rule.head.predicate);
 
-      for (const auto& [delta_idx, delta_rule] : variants.deltas) {
-        std::vector<AtomInput> inputs(rule.body.size());
-        bool empty_delta = false;
-        for (size_t i = 0; i < rule.body.size(); ++i) {
-          const Atom& atom = rule.body[i];
-          const Relation* rel = db->Find(atom.predicate);
-          if (!info.IsDerived(atom.predicate)) {
-            inputs[i] = AtomInput{rel, 0, rel->size()};
-            continue;
+        for (const auto& [delta_idx, delta_rule] : variants.deltas) {
+          std::vector<AtomInput> inputs(rule.body.size());
+          bool empty_delta = false;
+          for (size_t i = 0; i < rule.body.size(); ++i) {
+            const Atom& atom = rule.body[i];
+            const Relation* rel = db->Find(atom.predicate);
+            if (!info.IsDerived(atom.predicate)) {
+              inputs[i] = AtomInput{rel, 0, rel->size()};
+              continue;
+            }
+            const Watermark& mark = marks.at(atom.predicate);
+            if (static_cast<int>(i) == delta_idx) {
+              inputs[i] = AtomInput{rel, mark.old_end, mark.cur_end};
+              if (mark.old_end == mark.cur_end) empty_delta = true;
+            } else if (static_cast<int>(i) < delta_idx) {
+              inputs[i] = AtomInput{rel, 0, mark.old_end};
+            } else {
+              inputs[i] = AtomInput{rel, 0, mark.cur_end};
+            }
           }
-          const Watermark& mark = marks.at(atom.predicate);
-          if (static_cast<int>(i) == delta_idx) {
-            inputs[i] = AtomInput{rel, mark.old_end, mark.cur_end};
-            if (mark.old_end == mark.cur_end) empty_delta = true;
-          } else if (static_cast<int>(i) < delta_idx) {
-            inputs[i] = AtomInput{rel, 0, mark.old_end};
-          } else {
-            inputs[i] = AtomInput{rel, 0, mark.cur_end};
-          }
+          if (empty_delta) continue;
+          JoinExecutor::Execute(delta_rule, inputs, constraint_eval,
+                                make_sink(head_rel), &exec_stats, &scratch);
         }
-        if (empty_delta) continue;
-        JoinExecutor::Execute(delta_rule, inputs, constraint_eval,
-                              make_sink(head_rel), &exec_stats, &scratch);
       }
     }
 

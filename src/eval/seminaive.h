@@ -12,6 +12,8 @@
 
 namespace pdatalog {
 
+class TraceRing;  // obs/trace.h
+
 // Evaluator knobs. Defaults reproduce the paper's setting; the
 // alternatives exist for the ablation benches.
 struct EvalOptions {
@@ -21,6 +23,10 @@ struct EvalOptions {
   // topological order; see eval/stratify.h) so rules never rerun while
   // predicates they depend on, but do not feed, are still growing.
   bool stratified = false;
+  // Observability: when set, the evaluator records init/probe phase
+  // spans and round instants on `ring`. The ring must belong to the
+  // calling thread; null (the default) disables tracing.
+  TraceRing* trace = nullptr;
 };
 
 // Aggregate statistics of one evaluation.

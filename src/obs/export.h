@@ -1,0 +1,37 @@
+// Exporters for the observability subsystem: a Chrome-trace JSON
+// writer (loads in chrome://tracing and Perfetto's ui.perfetto.dev)
+// and a flat metrics JSON writer. Both have string-returning variants
+// for tests and file-writing variants for the CLI's --trace/--metrics.
+#ifndef PDATALOG_OBS_EXPORT_H_
+#define PDATALOG_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+// Renders every ring of `tracer` in the Chrome trace-event JSON format:
+// one "B"/"E" pair per span, one "i" event per instant, one metadata
+// event naming each ring's thread ("worker N" / "engine"). Timestamps
+// are microseconds relative to the tracer's epoch. The writer
+// sanitizes rings that dropped events mid-span: an unmatched End is
+// skipped and unclosed Begins are closed at the ring's last timestamp,
+// so the output always has well-formed begin/end nesting.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+// Renders the registry as one flat JSON object:
+//   {"counters": {name: integer, ...}, "gauges": {name: number, ...}}
+std::string MetricsJson(const MetricsRegistry& metrics);
+
+// File-writing variants. Failures (unwritable path) return an error
+// Status naming the path.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+Status WriteMetricsJson(const MetricsRegistry& metrics,
+                        const std::string& path);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_OBS_EXPORT_H_

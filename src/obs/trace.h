@@ -1,0 +1,163 @@
+// Per-worker event tracing for the runtime (the observability layer's
+// first half; src/obs/metrics.h is the second).
+//
+// Design constraints (docs/architecture.md, "Observability"):
+//   - Compiled-in but cheap: every instrumentation site guards on one
+//     pointer test. A run without a tracer pays a single predictable
+//     branch per site and nothing else.
+//   - Allocation- and lock-free when enabled: each worker writes into
+//     its own fixed-capacity ring, pre-allocated at construction. A
+//     full ring drops further events and counts the drops instead of
+//     growing, locking, or overwriting earlier events (overwriting
+//     would orphan begin/end pairs).
+//   - Single-writer: ring i is written only by the thread running
+//     worker i. Channel receive-side instants fire inside the
+//     receiver's drain, which runs on the receiving worker's thread,
+//     so they keep the invariant. Exporters read only after the run.
+//
+// Timestamps are raw steady_clock ticks (nanoseconds on the platforms
+// we build for); the exporters rebase them against the tracer's
+// construction epoch.
+#ifndef PDATALOG_OBS_TRACE_H_
+#define PDATALOG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pdatalog {
+
+// Everything a trace event can name. Span phases bracket the worker
+// loop's stages with Begin/End pairs; instant phases mark point events.
+enum class TracePhase : uint16_t {
+  // Span phases.
+  kInit = 0,  // initialization rules (Worker::Init / sequential round 0)
+  kDrain,     // draining the incoming channels into t_in
+  kProbe,     // the semi-naive join pass of one round
+  kInsert,    // bulk t_in ingest (Relation::InsertBlock)
+  kEncode,    // wire-encoding an outgoing block (serialized mode)
+  kFlush,     // end-of-round flush of the accumulation blocks
+  kIdle,      // idle backoff while waiting for peers or termination
+  kPool,      // final pooling (engine ring)
+  // Instant phases.
+  kRound,         // round boundary; arg = round number
+  kRetransmit,    // unacked frames re-sent; arg = frames
+  kCorruptFrame,  // receiver discarded a corrupt frame
+  kDupFrame,      // receiver discarded a duplicate frame
+};
+
+// Stable lowercase name used by the exporters and tests.
+const char* TracePhaseName(TracePhase phase);
+
+enum class TraceEventKind : uint16_t { kBegin = 0, kEnd, kInstant };
+
+// One POD ring entry.
+struct TraceEvent {
+  uint64_t ts;   // steady_clock ticks (ns)
+  uint32_t arg;  // phase-specific payload (round number, tuple count)
+  TracePhase phase;
+  TraceEventKind kind;
+};
+static_assert(sizeof(TraceEvent) == 16, "TraceEvent must stay compact");
+
+// Default per-ring capacity: 64K events = 1 MiB per worker.
+inline constexpr size_t kDefaultTraceRingCapacity = size_t{1} << 16;
+
+// A fixed-capacity, single-writer event buffer. All storage is
+// allocated in the constructor; Begin/End/Instant never allocate or
+// lock, and a full ring counts drops instead of failing.
+class TraceRing {
+ public:
+  TraceRing(int id, size_t capacity) : id_(id), events_(capacity) {}
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Begin(TracePhase phase, uint32_t arg = 0) {
+    Append(phase, TraceEventKind::kBegin, arg);
+  }
+  void End(TracePhase phase) { Append(phase, TraceEventKind::kEnd, 0); }
+  void Instant(TracePhase phase, uint32_t arg = 0) {
+    Append(phase, TraceEventKind::kInstant, arg);
+  }
+
+  int id() const { return id_; }
+  size_t capacity() const { return events_.size(); }
+  size_t size() const { return used_; }
+  uint64_t dropped() const { return dropped_; }
+  const TraceEvent& event(size_t i) const { return events_[i]; }
+
+  static uint64_t NowTicks() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  void Append(TracePhase phase, TraceEventKind kind, uint32_t arg) {
+    if (used_ == events_.size()) {
+      ++dropped_;
+      return;
+    }
+    events_[used_++] = TraceEvent{NowTicks(), arg, phase, kind};
+  }
+
+  int id_;
+  size_t used_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+// One ring per worker plus one for the engine thread (partitioning,
+// pooling). ring(i) for i in [0, num_workers) is worker i's ring;
+// ring(num_workers) == engine_ring().
+class Tracer {
+ public:
+  explicit Tracer(int num_workers,
+                  size_t ring_capacity = kDefaultTraceRingCapacity);
+
+  int num_workers() const { return num_workers_; }
+  int num_rings() const { return static_cast<int>(rings_.size()); }
+  TraceRing* ring(int i) { return rings_[static_cast<size_t>(i)].get(); }
+  const TraceRing& ring(int i) const {
+    return *rings_[static_cast<size_t>(i)];
+  }
+  TraceRing* engine_ring() { return ring(num_workers_); }
+
+  // Time base for exporters: ticks at construction.
+  uint64_t epoch_ticks() const { return epoch_; }
+
+  uint64_t total_events() const;
+  uint64_t total_dropped() const;
+
+ private:
+  int num_workers_;
+  uint64_t epoch_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+// RAII span: emits Begin on construction and End on destruction. A
+// null ring disables both at the cost of one branch — this is the only
+// fast-path cost of compiled-in instrumentation.
+class TraceScope {
+ public:
+  TraceScope(TraceRing* ring, TracePhase phase, uint32_t arg = 0)
+      : ring_(ring), phase_(phase) {
+    if (ring_ != nullptr) ring_->Begin(phase, arg);
+  }
+  ~TraceScope() {
+    if (ring_ != nullptr) ring_->End(phase_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRing* ring_;
+  TracePhase phase_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_OBS_TRACE_H_

@@ -28,6 +28,8 @@
 
 namespace pdatalog {
 
+class TraceRing;  // obs/trace.h; storage only holds a pointer
+
 // Hash of a value sequence; the one function the dedup set and every
 // column index agree on, so a probe can hash bound values in place and
 // match rows hashed column-by-column.
@@ -190,6 +192,13 @@ class Relation {
   // Sorted textual dump, for tests and examples.
   std::string ToSortedString(const SymbolTable& symbols) const;
 
+  // Observability hook: when set, InsertBlock brackets each bulk ingest
+  // with a TracePhase::kInsert span on `ring`. The ring must be the one
+  // owned by the thread that mutates this relation (workers set it on
+  // their t_in relations); null (the default) disables tracing at the
+  // cost of one branch per block.
+  void set_trace(TraceRing* ring) { trace_ = ring; }
+
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
@@ -208,6 +217,7 @@ class Relation {
   std::vector<DedupSlot> dedup_;
   uint64_t dedup_mask_ = 0;
   std::unordered_map<uint32_t, ColumnIndex> indexes_;
+  TraceRing* trace_ = nullptr;  // optional bulk-insert span target
 };
 
 }  // namespace pdatalog

@@ -9,6 +9,7 @@
 
 #include "eval/plan.h"
 #include "gtest/gtest.h"
+#include "obs/trace.h"
 #include "storage/relation.h"
 #include "test_util.h"
 
@@ -102,6 +103,38 @@ TEST(HotPathAllocTest, DuplicateInsertViewAllocatesNothing) {
   uint64_t after = AllocCount();
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " heap allocations while rejecting duplicates";
+}
+
+TEST(HotPathAllocTest, DisabledTracerAllocatesNothing) {
+  // A null ring is the tracer-off configuration: spans and guarded
+  // instants must cost one branch each and never touch the heap.
+  uint64_t before = AllocCount();
+  TraceRing* ring = nullptr;
+  for (int i = 0; i < 10000; ++i) {
+    TraceScope span(ring, TracePhase::kProbe,
+                    static_cast<uint32_t>(i));
+    if (ring != nullptr) ring->Instant(TracePhase::kRound);
+  }
+  uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations with tracing disabled";
+}
+
+TEST(HotPathAllocTest, EnabledRingEmitIsAllocationFree) {
+  // All ring storage is allocated at construction; emitting events —
+  // including past capacity, where they drop — must not allocate.
+  TraceRing ring(0, 1024);
+  uint64_t before = AllocCount();
+  for (int i = 0; i < 2000; ++i) {
+    TraceScope span(&ring, TracePhase::kInsert,
+                    static_cast<uint32_t>(i));
+    ring.Instant(TracePhase::kRound, static_cast<uint32_t>(i));
+  }
+  uint64_t after = AllocCount();
+  EXPECT_EQ(ring.size(), 1024u);
+  EXPECT_GT(ring.dropped(), 0u);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations while emitting events";
 }
 
 TEST(HotPathAllocTest, IndexProbeAllocatesNothing) {

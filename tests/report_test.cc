@@ -42,7 +42,38 @@ TEST(ReportTest, PerWorkerTableHasOneRowPerProcessor) {
   EXPECT_NE(report.find("rows examined"), std::string::npos);
 }
 
-TEST(ReportTest, ChannelMatrixRendered) {
+TEST(ReportTest, PerWorkerRatiosPresent) {
+  ParallelResult result = RunAncestor(3);
+  ReportOptions options;
+  options.totals = false;
+  std::string report = RenderReport(result, options);
+  EXPECT_NE(report.find("tup/frame"), std::string::npos);
+  EXPECT_NE(report.find("rows/round"), std::string::npos);
+}
+
+TEST(ReportTest, RatioCellsAreZeroSafe) {
+  // A hand-built result with every denominator at zero: no frames, no
+  // rounds, no cross frames. Every ratio cell must render as 0.0, never
+  // inf or nan.
+  ParallelResult result;
+  WorkerStats idle;
+  idle.rounds = 0;
+  idle.frames = 0;
+  idle.rows_examined = 123;  // nonzero numerator over a zero denominator
+  idle.sent_cross = 7;
+  result.workers = {idle, WorkerStats{}};
+  result.channel_matrix.assign(2, std::vector<uint64_t>(2, 0));
+  result.cross_tuples = 5;  // nonzero tuples but zero frames
+  result.cross_frames = 0;
+  ReportOptions options;
+  options.channel_matrix = true;
+  std::string report = RenderReport(result, options);
+  EXPECT_EQ(report.find("inf"), std::string::npos) << report;
+  EXPECT_EQ(report.find("nan"), std::string::npos) << report;
+  EXPECT_NE(report.find("0.0 tuples/frame"), std::string::npos) << report;
+}
+
+TEST(ReportTest, ChannelMatrix) {
   ParallelResult result = RunAncestor(2);
   ReportOptions options;
   options.totals = false;
