@@ -11,6 +11,8 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "core/report.h"
+#include "obs/analyze.h"
 #include "obs/trace.h"
 
 using namespace pdatalog;
@@ -72,8 +74,8 @@ int main() {
            TextTable::Cell(cheap == 0 ? 0.0 : seq_work / cheap, 2),
            TextTable::Cell(costly == 0 ? 0.0 : seq_work / costly, 2),
            TextTable::Cell(r.wall_seconds * 1e3, 1)});
-      json.NewRecord()
-          .Set("topology", topology)
+      bench::JsonRecord& rec = json.NewRecord();
+      rec.Set("topology", topology)
           .Set("processors", P)
           .Set("max_firings", max_firings)
           .Set("mean_firings", mean)
@@ -91,6 +93,15 @@ int main() {
           .Set("wall_ms", r.wall_seconds * 1e3)
           .Set("trace_overhead_pct", trace_overhead_pct)
           .Set("trace_events", tracer.total_events());
+      // Profiler-derived load metrics from the traced re-run: measured
+      // busy-time skew (vs. the firing-count `imbalance` above) and the
+      // probe latency tail.
+      ProfileReport prof = AnalyzeRun(tracer, MakeProfileContext(traced));
+      const Histogram* probe =
+          traced.metrics.FindHistogram("hist.probe_ns");
+      rec.Set("skew_ratio", prof.skew_ratio)
+          .Set("probe_p99_ns",
+               probe == nullptr ? 0.0 : probe->Percentile(99));
     }
     table.Print();
     std::printf("\n");

@@ -14,6 +14,7 @@
 #include "datalog/fact_io.h"
 #include "datalog/parser.h"
 #include "datalog/query.h"
+#include "obs/analyze.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,11 +45,26 @@ Status UsageError(const std::string& message) {
       " [--rho=R] [--seed=S] [--dump=pred] [--facts=pred:file]"
       " [--faults=drop:P,dup:P,reorder:P,corrupt:P,delay:P,polls:N]"
       " [--retransmit] [--block-tuples=N]"
-      " [--trace=FILE] [--metrics=FILE]"
+      " [--trace=FILE] [--metrics=FILE] [--profile[=FILE]]"
+      " [--trace-ring-kb=N]"
       " [--program=name] [--print-programs] [--stats] [program.dl]");
 }
 
 std::string U64(uint64_t v) { return std::to_string(v); }
+
+// Per-ring event capacity from --trace-ring-kb (0 = compiled default).
+size_t RingCapacity(const CliOptions& options) {
+  if (options.trace_ring_kb <= 0) return kDefaultTraceRingCapacity;
+  size_t capacity = static_cast<size_t>(options.trace_ring_kb) * 1024 /
+                    sizeof(TraceEvent);
+  return capacity == 0 ? 1 : capacity;
+}
+
+std::string TraceDropWarning(uint64_t dropped) {
+  return "warning: trace ring overflow dropped " + U64(dropped) +
+         " events; exported trace/profile are truncated "
+         "(raise --trace-ring-kb)\n";
+}
 
 // Picks default discriminating sequences for the general scheme: each
 // rule is keyed on the first variable of its first derived body atom
@@ -318,6 +334,19 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
     } else if (ConsumePrefix(arg, "--metrics=", &rest)) {
       if (rest.empty()) return UsageError("--metrics needs a file path");
       options.metrics_file = rest;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (ConsumePrefix(arg, "--profile=", &rest)) {
+      if (rest.empty()) return UsageError("--profile needs a file path");
+      options.profile = true;
+      options.profile_file = rest;
+    } else if (ConsumePrefix(arg, "--trace-ring-kb=", &rest)) {
+      int value = std::atoi(rest.c_str());
+      // Each KiB holds 64 events; cap at 1 GiB per ring.
+      if (value < 1 || value > (1 << 20)) {
+        return UsageError("trace-ring-kb must be in [1, 1048576]");
+      }
+      options.trace_ring_kb = value;
     } else if (arg == "--retransmit") {
       options.retransmit = true;
     } else if (arg == "--advise") {
@@ -438,8 +467,11 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   Stopwatch watch;
   if (options.mode != CliOptions::Mode::kParallel) {
     // Sequential tracer: one worker ring for the evaluator's thread.
+    // --profile implies tracing even without a --trace file.
     std::unique_ptr<Tracer> tracer;
-    if (!options.trace_file.empty()) tracer = std::make_unique<Tracer>(1);
+    if (!options.trace_file.empty() || options.profile) {
+      tracer = std::make_unique<Tracer>(1, RingCapacity(options));
+    }
     EvalStats stats;
     if (options.mode == CliOptions::Mode::kSequential) {
       EvalOptions eopts;
@@ -464,12 +496,15 @@ StatusOr<std::string> RunCli(const CliOptions& options,
       out += "  " + symbols.Name(p) + ": " +
              std::to_string(edb.Find(p)->size()) + " tuples\n";
     }
-    if (tracer != nullptr) {
+    if (tracer != nullptr && !options.trace_file.empty()) {
       PDATALOG_RETURN_IF_ERROR(
           WriteChromeTrace(*tracer, options.trace_file));
       out += "trace: " + U64(tracer->total_events()) + " events (" +
              U64(tracer->total_dropped()) + " dropped) -> " +
              options.trace_file + "\n";
+    }
+    if (tracer != nullptr && tracer->total_dropped() > 0) {
+      out += TraceDropWarning(tracer->total_dropped());
     }
     if (!options.metrics_file.empty()) {
       MetricsRegistry m;
@@ -486,6 +521,15 @@ StatusOr<std::string> RunCli(const CliOptions& options,
           WriteMetricsJson(m, options.metrics_file));
       out += "metrics: " + std::to_string(m.size()) + " metrics -> " +
              options.metrics_file + "\n";
+    }
+    if (options.profile && tracer != nullptr) {
+      ProfileReport prof = AnalyzeTrace(*tracer);
+      out += prof.ToText();
+      if (!options.profile_file.empty()) {
+        PDATALOG_RETURN_IF_ERROR(
+            WriteProfileJson(prof, options.profile_file));
+        out += "profile: -> " + options.profile_file + "\n";
+      }
     }
     if (!options.save_directory.empty()) {
       StatusOr<size_t> saved =
@@ -540,8 +584,9 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   // Corruption flips wire bytes, so it needs the serialized channels.
   if (popts.faults.corrupt > 0) popts.serialize_messages = true;
   std::unique_ptr<Tracer> tracer;
-  if (!options.trace_file.empty()) {
-    tracer = std::make_unique<Tracer>(options.processors);
+  if (!options.trace_file.empty() || options.profile) {
+    tracer =
+        std::make_unique<Tracer>(options.processors, RingCapacity(options));
     popts.tracer = tracer.get();
   }
   StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, popts);
@@ -569,10 +614,16 @@ StatusOr<std::string> RunCli(const CliOptions& options,
   if (tracer != nullptr) {
     result->metrics.AddCounter("trace.events", tracer->total_events());
     result->metrics.AddCounter("trace.dropped", tracer->total_dropped());
-    PDATALOG_RETURN_IF_ERROR(WriteChromeTrace(*tracer, options.trace_file));
-    out += "trace: " + U64(tracer->total_events()) + " events (" +
-           U64(tracer->total_dropped()) + " dropped) -> " +
-           options.trace_file + "\n";
+    if (!options.trace_file.empty()) {
+      PDATALOG_RETURN_IF_ERROR(
+          WriteChromeTrace(*tracer, options.trace_file));
+      out += "trace: " + U64(tracer->total_events()) + " events (" +
+             U64(tracer->total_dropped()) + " dropped) -> " +
+             options.trace_file + "\n";
+    }
+    if (tracer->total_dropped() > 0) {
+      out += TraceDropWarning(tracer->total_dropped());
+    }
   }
   if (!options.metrics_file.empty()) {
     PDATALOG_RETURN_IF_ERROR(
@@ -586,6 +637,14 @@ StatusOr<std::string> RunCli(const CliOptions& options,
     ropts.channel_matrix = true;
     out += RenderReport(*result, ropts);
     out += RenderBspTimeline(*result, 1.0, options.net_cost);
+  }
+  if (options.profile && tracer != nullptr) {
+    ProfileReport prof = AnalyzeRun(*tracer, MakeProfileContext(*result));
+    out += prof.ToText();
+    if (!options.profile_file.empty()) {
+      PDATALOG_RETURN_IF_ERROR(WriteProfileJson(prof, options.profile_file));
+      out += "profile: -> " + options.profile_file + "\n";
+    }
   }
   if (!options.save_directory.empty()) {
     StatusOr<size_t> saved =

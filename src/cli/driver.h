@@ -55,7 +55,16 @@
 //                               instants; open at ui.perfetto.dev or
 //                               chrome://tracing
 //     --metrics=FILE            write the run's metrics registry (named
-//                               counters and gauges) as flat JSON
+//                               counters, gauges, and latency/size
+//                               histograms) as flat JSON
+//     --profile[=FILE]          analyze the trace after the run: per-round
+//                               busy/idle and skew ratios, straggler,
+//                               communication matrix, critical path, and
+//                               latency percentiles; printed as text and,
+//                               with =FILE, also written as JSON
+//     --trace-ring-kb=N         per-worker trace ring capacity in KiB
+//                               (default 1024 = 64K events); raise it when
+//                               the report warns about dropped events
 //     --print-programs          print the rewritten per-processor programs
 //     --stats                   print per-processor statistics
 //
@@ -111,6 +120,12 @@ struct CliOptions {
   // --trace / --metrics observability exports (empty = disabled).
   std::string trace_file;
   std::string metrics_file;
+  // --profile[=FILE]: post-run trace analysis (text; JSON when a file
+  // is given). Implies tracing even without --trace.
+  bool profile = false;
+  std::string profile_file;
+  // --trace-ring-kb: per-worker ring capacity in KiB (0 = default).
+  int trace_ring_kb = 0;
   double net_cost = 1.0;  // --advise cost model
   std::string program_path;  // informational; source is passed separately
   std::string builtin;       // name of a built-in program, if chosen

@@ -26,6 +26,35 @@ void Channel::EnableRetransmit() {
   EnsureExtras().reliable = true;
 }
 
+void Channel::NoteFlowSendLocked() {
+  if (send_trace_ == nullptr || fx_ != nullptr) return;
+  // The frame just counted is frame total_frames_ - 1. Past the 22-bit
+  // sequence space, stop emitting rather than wrap (the receiver side
+  // applies the same cutoff, so pairing stays consistent).
+  uint64_t seq = total_frames_ - 1;
+  if (seq > kFlowMaxSeq) return;
+  send_trace_->Instant(TracePhase::kFlowSend, PackFlowArg(flow_to_, seq));
+}
+
+void Channel::NoteFlowRecvLocked(size_t frames) {
+  if (send_trace_ == nullptr || fx_ != nullptr) {
+    delivered_frames_ += frames;
+    return;
+  }
+  // The fast path is FIFO and lossless, so the k-th frame drained is
+  // the k-th frame sent; a running delivery counter reconstructs each
+  // frame's sequence without touching the wire format.
+  for (size_t k = 0; k < frames; ++k) {
+    uint64_t seq = delivered_frames_ + k;
+    if (seq > kFlowMaxSeq) break;
+    if (recv_trace_ != nullptr) {
+      recv_trace_->Instant(TracePhase::kFlowRecv,
+                           PackFlowArg(flow_from_, seq));
+    }
+  }
+  delivered_frames_ += frames;
+}
+
 void Channel::EnqueueBlockLocked(TupleBlock block) {
   if (fx_ == nullptr) {
     queue_.push_back(std::move(block));

@@ -126,6 +126,7 @@ class Channel {
     ++total_sent_;
     ++total_frames_;
     EnqueueBlockLocked(BlockOfOne(std::move(message)));
+    NoteFlowSendLocked();
   }
 
   // Appends a whole batch under one lock acquisition, one block frame
@@ -139,6 +140,7 @@ class Channel {
       ++total_sent_;
       ++total_frames_;
       EnqueueBlockLocked(BlockOfOne(std::move(m)));
+      NoteFlowSendLocked();
     }
     batch->clear();
   }
@@ -151,6 +153,7 @@ class Channel {
     total_sent_ += block.count;
     ++total_frames_;
     EnqueueBlockLocked(std::move(block));
+    NoteFlowSendLocked();
   }
 
   // Moves all pending (deliverable) blocks into `out` (appending).
@@ -162,9 +165,11 @@ class Channel {
     if (fx_ != nullptr) {
       DrainBlocksLocked(out);
     } else {
-      out->reserve(out->size() + queue_.size());
+      size_t frames = queue_.size();
+      out->reserve(out->size() + frames);
       for (TupleBlock& b : queue_) out->push_back(std::move(b));
       queue_.clear();
+      NoteFlowRecvLocked(frames);
     }
     size_t tuples = 0;
     for (size_t i = start; i < out->size(); ++i) tuples += (*out)[i].count;
@@ -198,6 +203,7 @@ class Channel {
       return;
     }
     byte_queue_.push_back(std::move(bytes));
+    NoteFlowSendLocked();
   }
 
   // Drains all deliverable encoded frames (appending). Returns the
@@ -211,6 +217,7 @@ class Channel {
     out->reserve(out->size() + n);
     for (auto& b : byte_queue_) out->push_back(std::move(b));
     byte_queue_.clear();
+    NoteFlowRecvLocked(n);
     return n;
   }
 
@@ -252,6 +259,24 @@ class Channel {
   void set_receive_trace(TraceRing* ring) {
     std::lock_guard<std::mutex> lock(mutex_);
     recv_trace_ = ring;
+  }
+
+  // Observability hook: pair each frame's send with its delivery via
+  // flow instants (obs/trace.h, kFlowSend/kFlowRecv). `send_ring` must
+  // be the sending worker's ring and `recv_ring` the receiver's — sends
+  // run on the sender's thread and drains on the receiver's, so both
+  // keep the single-writer invariant. Flow identity is (from, to,
+  // per-channel frame index); nothing changes on the wire. Only the
+  // default fast path emits flows: once faults or retransmit are
+  // configured, delivery order no longer matches the frame counter
+  // (drops, duplicates, reordering), so flows are suppressed there.
+  void set_flow_trace(int from, int to, TraceRing* send_ring,
+                      TraceRing* recv_ring) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flow_from_ = from;
+    flow_to_ = to;
+    send_trace_ = send_ring;
+    recv_trace_ = recv_ring;
   }
 
   // Total tuples ever sent on this channel (monotone; for stats).
@@ -324,6 +349,11 @@ class Channel {
   }
 
   Extras& EnsureExtras();
+  // Flow-instant emitters (no-ops unless set_flow_trace configured the
+  // rings and the channel is on the fault-free fast path). Defined in
+  // channel.cc where TraceRing is complete.
+  void NoteFlowSendLocked();
+  void NoteFlowRecvLocked(size_t frames);
   // Fast queue append, or the seq-stamping/fault-injecting slow path.
   // Accounting (total_sent_/total_bytes_/total_frames_) happens in the
   // public callers, before the block is visible to the receiver.
@@ -345,6 +375,10 @@ class Channel {
   std::vector<std::vector<uint8_t>> byte_queue_;  // serialized mode
   std::unique_ptr<Extras> fx_;
   TraceRing* recv_trace_ = nullptr;  // receiver's ring (drain instants)
+  TraceRing* send_trace_ = nullptr;  // sender's ring (flow sends)
+  int flow_from_ = -1;               // channel endpoints for flow args
+  int flow_to_ = -1;
+  uint64_t delivered_frames_ = 0;  // fast-path frames drained so far
   uint64_t total_sent_ = 0;    // tuples
   uint64_t total_bytes_ = 0;   // wire bytes
   uint64_t total_frames_ = 0;  // frames (blocks or encoded frames)

@@ -216,9 +216,17 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
   if (options.tracer != nullptr) {
     // Channel (i, j) is drained on worker j's thread, so its receive-
     // side discard instants land on ring j (single-writer invariant).
+    // Cross channels additionally emit flow instants: sends on ring i
+    // (the sending worker's thread holds the channel lock), deliveries
+    // on ring j — the exporter and analyzer pair them by (i, j, frame
+    // sequence). Self-channels carry no communication, so no flows.
     for (int i = 0; i < bundle.num_processors; ++i) {
       for (int j = 0; j < bundle.num_processors; ++j) {
         network.channel(i, j).set_receive_trace(options.tracer->ring(j));
+        if (i != j) {
+          network.channel(i, j).set_flow_trace(
+              i, j, options.tracer->ring(i), options.tracer->ring(j));
+        }
       }
     }
   }
@@ -303,6 +311,23 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
     AbsorbWorkerStats(static_cast<int>(i), workers[i]->stats(), &m);
   }
   AbsorbFaultCounters(result.faults, &m);
+  if (options.tracer != nullptr) {
+    // Fold every worker's single-writer histograms into the registry;
+    // stratified runs then merge these bucket-wise across strata.
+    auto fold = [&m](const char* name, const Histogram& h) {
+      if (!h.empty()) m.MergeHistogram(name, h);
+    };
+    for (const auto& worker : workers) {
+      const WorkerProfile& p = worker->profile();
+      fold("hist.probe_ns", p.probe_ns);
+      fold("hist.insert_ns", p.insert_ns);
+      fold("hist.drain_ns", p.drain_ns);
+      fold("hist.flush_ns", p.flush_ns);
+      fold("hist.idle_ns", p.idle_ns);
+      fold("hist.block_tuples", p.block_tuples);
+      fold("hist.queue_frames_at_drain", p.queue_frames);
+    }
+  }
 
   // Final pooling (Section 3, step 5). Collector is processor 0: every
   // other processor ships its t_out across the network.

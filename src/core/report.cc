@@ -26,6 +26,13 @@ std::string RenderReport(const ParallelResult& result,
            TextTable::Cell(tuples_per_frame, 1) + " tuples/frame), " +
            std::to_string(result.self_tuples) + " self-routed, " +
            TextTable::Cell(result.wall_seconds * 1e3, 2) + " ms\n";
+    uint64_t trace_dropped = result.metrics.counter("trace.dropped");
+    if (trace_dropped > 0) {
+      out += "warning: trace ring overflow dropped " +
+             std::to_string(trace_dropped) +
+             " events; the exported trace and profile are truncated "
+             "(raise --trace-ring-kb)\n";
+    }
     if (result.faults.any()) {
       out += "faults: " + std::to_string(result.faults.dropped) +
              " dropped, " + std::to_string(result.faults.duplicated) +
@@ -88,7 +95,35 @@ std::string RenderReport(const ParallelResult& result,
     }
     out += table.ToString();
   }
+
+  if (options.histograms && !result.metrics.histograms().empty()) {
+    out += "percentiles (ns for *_ns, counts otherwise):\n";
+    TextTable table({"metric", "count", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : result.metrics.histograms()) {
+      table.AddRow({name, TextTable::Cell(h.count()),
+                    TextTable::Cell(h.Percentile(50), 0),
+                    TextTable::Cell(h.Percentile(95), 0),
+                    TextTable::Cell(h.Percentile(99), 0),
+                    TextTable::Cell(h.max())});
+    }
+    out += table.ToString();
+  }
   return out;
+}
+
+ProfileContext MakeProfileContext(const ParallelResult& result) {
+  ProfileContext ctx;
+  ctx.tuples_matrix = result.channel_matrix;
+  ctx.frames_matrix = result.frames_matrix;
+  ctx.sent_by_round.resize(result.worker_rounds.size());
+  for (size_t i = 0; i < result.worker_rounds.size(); ++i) {
+    ctx.sent_by_round[i].reserve(result.worker_rounds[i].size());
+    for (const RoundLog& log : result.worker_rounds[i]) {
+      ctx.sent_by_round[i].push_back(log.sent_to);
+    }
+  }
+  ctx.metrics = &result.metrics;
+  return ctx;
 }
 
 std::string RenderBspTimeline(const ParallelResult& result,

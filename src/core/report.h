@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "obs/analyze.h"
 
 namespace pdatalog {
 
@@ -14,6 +15,7 @@ struct ReportOptions {
   bool per_worker = true;       // per-processor statistics table
   bool channel_matrix = false;  // tuples per channel ij
   bool totals = true;           // one-line aggregate summary
+  bool histograms = true;       // percentile table (when recorded)
 };
 
 // Renders `result` as aligned text tables.
@@ -26,6 +28,12 @@ std::string RenderReport(const ParallelResult& result,
 std::string RenderBspTimeline(const ParallelResult& result,
                               double cpu_cost, double net_cost,
                               int width = 72);
+
+// Builds the analyzer's run context (obs/analyze.h) from a finished
+// result: communication matrices, per-round sent tuples from the round
+// logs, and a pointer to the result's registry — `result` must outlive
+// any AnalyzeRun call using the returned context.
+ProfileContext MakeProfileContext(const ParallelResult& result);
 
 }  // namespace pdatalog
 

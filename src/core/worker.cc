@@ -141,10 +141,13 @@ Status Worker::Setup() {
 void Worker::set_trace(TraceRing* ring) {
   trace_ = ring;
   // Bulk ingests into the t_in relations happen on this worker's thread
-  // (DrainChannels), so they may share the worker's ring.
+  // (DrainChannels), so they may share the worker's ring — and, when
+  // tracing is on, the worker's insert-duration histogram.
   for (const auto& [in_sym, unused] : in_old_end_) {
     (void)unused;
-    local_db_.Find(in_sym)->set_trace(ring);
+    Relation* rel = local_db_.Find(in_sym);
+    rel->set_trace(ring);
+    rel->set_insert_profile(ring != nullptr ? &profile_.insert_ns : nullptr);
   }
 }
 
@@ -225,12 +228,15 @@ StatusOr<size_t> Worker::IngestBlock(const TupleBlock& block, int from) {
 }
 
 StatusOr<size_t> Worker::DrainChannels() {
-  TraceScope span(trace_, TracePhase::kDrain);
+  TraceScope span(trace_, TracePhase::kDrain, 0,
+                  trace_ != nullptr ? &profile_.drain_ns : nullptr);
   size_t total = 0;
+  size_t frames = 0;
   for (int j = 0; j < num_processors_; ++j) {
     Channel& channel = network_->channel(j, id_);
     block_buffer_.clear();
     channel.DrainBlocks(&block_buffer_);
+    frames += block_buffer_.size();
     for (const TupleBlock& block : block_buffer_) {
       StatusOr<size_t> n = IngestBlock(block, j);
       if (!n.ok()) return n.status();
@@ -239,6 +245,7 @@ StatusOr<size_t> Worker::DrainChannels() {
     if (serialize_messages_) {
       byte_buffer_.clear();
       channel.DrainBytes(&byte_buffer_);
+      frames += byte_buffer_.size();
       // Count decoded tuples, not drained frames: the termination
       // detector's receive counter must agree with the block-granular
       // CountSend(n) on the send side.
@@ -259,6 +266,12 @@ StatusOr<size_t> Worker::DrainChannels() {
         }
       }
     }
+  }
+  // Queue depth observed by this drain (frames across all inbound
+  // channels, zero included — idle polls drain too, and an empty drain
+  // is a real queue-depth sample).
+  if (trace_ != nullptr) {
+    profile_.queue_frames.Record(static_cast<uint64_t>(frames));
   }
   if (total == 0) return size_t{0};
   detector_->CountReceive(id_, total);
@@ -289,7 +302,8 @@ void Worker::ProcessRound() {
   ExecStats es;
   {
     TraceScope probe(trace_, TracePhase::kProbe,
-                     static_cast<uint32_t>(stats_.rounds));
+                     static_cast<uint32_t>(stats_.rounds),
+                     trace_ != nullptr ? &profile_.probe_ns : nullptr);
     for (size_t r = 0; r < local_program_->rules.size(); ++r) {
       const auto& variants = compiled_.rules()[r];
       if (!variants.has_derived_body) continue;
@@ -350,6 +364,9 @@ void Worker::ProcessRound() {
 
 void Worker::FlushBlock(int dest, TupleBlock* block) {
   if (block->count == 0) return;
+  if (trace_ != nullptr) {
+    profile_.block_tuples.Record(block->count);
+  }
   // Count the whole block before it becomes visible to the receiver
   // (Mattern's rule), in one detector call instead of one per tuple.
   detector_->CountSend(id_, block->count);
@@ -378,7 +395,8 @@ void Worker::FlushBlock(int dest, TupleBlock* block) {
 }
 
 void Worker::FlushSends() {
-  TraceScope span(trace_, TracePhase::kFlush);
+  TraceScope span(trace_, TracePhase::kFlush, 0,
+                  trace_ != nullptr ? &profile_.flush_ns : nullptr);
   for (int dest = 0; dest < num_processors_; ++dest) {
     for (int slot = 0; slot < num_derived_; ++slot) {
       FlushBlock(dest, &send_blocks_[static_cast<size_t>(dest) *
@@ -516,7 +534,8 @@ Status Worker::RunLoop() {
       continue;
     }
     detector_->SetIdle(id_, true);
-    TraceScope idle(trace_, TracePhase::kIdle);
+    TraceScope idle(trace_, TracePhase::kIdle, 0,
+                    trace_ != nullptr ? &profile_.idle_ns : nullptr);
     while (true) {
       if (detector_->TryDetect()) return detector_->run_status();
       bool pending = false;

@@ -15,6 +15,7 @@
 #include "core/routing.h"
 #include "core/termination.h"
 #include "eval/seminaive.h"
+#include "obs/histogram.h"
 #include "storage/database.h"
 
 namespace pdatalog {
@@ -27,6 +28,22 @@ struct RoundLog {
   uint64_t firings = 0;
   uint64_t received = 0;           // messages drained entering this round
   std::vector<uint64_t> sent_to;   // messages enqueued, by destination
+};
+
+// Per-worker latency/size distributions, recorded only while tracing
+// is enabled (set_trace with a non-null ring) so the default hot path
+// pays nothing beyond the existing null checks. All histograms are
+// fixed-footprint (obs/histogram.h) and written only by the worker's
+// own thread; the engine merges them into the run's MetricsRegistry
+// (hist.* entries) after the workers have joined.
+struct WorkerProfile {
+  Histogram probe_ns;       // semi-naive pass duration, per round
+  Histogram insert_ns;      // bulk t_in ingest duration, per block
+  Histogram drain_ns;       // channel drain duration, per Step
+  Histogram flush_ns;       // end-of-round flush duration
+  Histogram idle_ns;        // idle backoff duration, per wait
+  Histogram block_tuples;   // tuples per flushed block frame
+  Histogram queue_frames;   // frames pending when a drain ran
 };
 
 struct WorkerStats {
@@ -99,6 +116,7 @@ class Worker {
   void set_trace(TraceRing* ring);
 
   const WorkerStats& stats() const { return stats_; }
+  const WorkerProfile& profile() const { return profile_; }
   const std::vector<RoundLog>& round_logs() const { return round_logs_; }
   const Database& local_db() const { return local_db_; }
   const CompiledProgram& compiled() const { return compiled_; }
@@ -167,6 +185,7 @@ class Worker {
   JoinScratch join_scratch_;
   WorkerStats stats_;
   TraceRing* trace_ = nullptr;  // optional per-worker trace ring
+  WorkerProfile profile_;       // recorded only when trace_ is set
   std::vector<RoundLog> round_logs_;
   RoundLog* current_log_ = nullptr;  // active during Init/ProcessRound
   uint64_t pending_received_ = 0;    // drained since the last round started

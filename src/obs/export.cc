@@ -1,7 +1,10 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <utility>
 #include <vector>
 
 namespace pdatalog {
@@ -69,6 +72,12 @@ void AppendRing(std::string* out, const TraceRing& ring, uint64_t epoch,
         AppendEvent(out, "E", tid, ts, name, 0, false);
         break;
       case TraceEventKind::kInstant:
+        // Flow instants are emitted by the pairing pass in
+        // ChromeTraceJson, not as generic instants.
+        if (e.phase == TracePhase::kFlowSend ||
+            e.phase == TracePhase::kFlowRecv) {
+          break;
+        }
         AppendEvent(out, "i", tid, ts, name, e.arg, true);
         break;
     }
@@ -81,20 +90,55 @@ void AppendRing(std::string* out, const TraceRing& ring, uint64_t epoch,
   }
 }
 
-Status WriteFile(const std::string& body, const std::string& path,
-                 const char* what) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::Internal(std::string("cannot open ") + what +
-                            " output file " + path);
+// One endpoint of a flow (send or delivery of a block frame).
+struct FlowPoint {
+  uint64_t ts;
+  int tid;
+};
+
+// Collects flow endpoints from every ring, keyed by the flow identity
+// (sender, receiver, per-channel frame sequence). Stratified runs
+// reuse the rings across strata with per-stratum channels, so one key
+// can recur; endpoints are kept in ring order and paired positionally
+// (channels are FIFO and sequences restart per stratum, so the k-th
+// send of a key matches the k-th delivery).
+void CollectFlows(
+    const Tracer& tracer,
+    std::map<uint64_t, std::pair<std::vector<FlowPoint>,
+                                 std::vector<FlowPoint>>>* flows) {
+  for (int i = 0; i < tracer.num_rings(); ++i) {
+    const TraceRing& ring = tracer.ring(i);
+    for (size_t k = 0; k < ring.size(); ++k) {
+      const TraceEvent& e = ring.event(k);
+      if (e.kind != TraceEventKind::kInstant) continue;
+      if (e.phase == TracePhase::kFlowSend) {
+        uint64_t key =
+            ((static_cast<uint64_t>(i) << 10 |
+              static_cast<uint64_t>(FlowPeer(e.arg)))
+             << kFlowSeqBits) |
+            FlowSeq(e.arg);
+        (*flows)[key].first.push_back(FlowPoint{e.ts, i});
+      } else if (e.phase == TracePhase::kFlowRecv) {
+        uint64_t key =
+            ((static_cast<uint64_t>(FlowPeer(e.arg)) << 10 |
+              static_cast<uint64_t>(i))
+             << kFlowSeqBits) |
+            FlowSeq(e.arg);
+        (*flows)[key].second.push_back(FlowPoint{e.ts, i});
+      }
+    }
   }
-  size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != body.size() || close_rc != 0) {
-    return Status::Internal(std::string("short write to ") + what +
-                            " output file " + path);
-  }
-  return Status::Ok();
+}
+
+void AppendFlowEvent(std::string* out, const char* ph, const FlowPoint& p,
+                     uint64_t epoch, uint64_t id) {
+  *out += "  {\"ph\":\"";
+  *out += ph;
+  *out += "\",\"pid\":0,\"tid\":" + std::to_string(p.tid) +
+          ",\"ts\":" + RelativeUs(p.ts, epoch) +
+          ",\"name\":\"frame\",\"cat\":\"flow\"";
+  if (ph[0] == 'f') *out += ",\"bp\":\"e\"";
+  *out += ",\"id\":" + std::to_string(id) + "},\n";
 }
 
 }  // namespace
@@ -104,6 +148,25 @@ std::string ChromeTraceJson(const Tracer& tracer) {
   for (int i = 0; i < tracer.num_rings(); ++i) {
     AppendRing(&out, tracer.ring(i), tracer.epoch_ticks(),
                tracer.num_workers());
+  }
+  // Emit matched send/delivery pairs as Chrome flow events. Only pairs
+  // with both endpoints recorded are exported, so every flow id occurs
+  // exactly once as "s" and once as "f".
+  std::map<uint64_t,
+           std::pair<std::vector<FlowPoint>, std::vector<FlowPoint>>>
+      flows;
+  CollectFlows(tracer, &flows);
+  uint64_t next_id = 1;
+  for (const auto& [key, points] : flows) {
+    (void)key;
+    size_t n = std::min(points.first.size(), points.second.size());
+    for (size_t k = 0; k < n; ++k) {
+      AppendFlowEvent(&out, "s", points.first[k], tracer.epoch_ticks(),
+                      next_id);
+      AppendFlowEvent(&out, "f", points.second[k], tracer.epoch_ticks(),
+                      next_id);
+      ++next_id;
+    }
   }
   // Strip the trailing ",\n" left by the last event.
   if (out.size() >= 2 && out[out.size() - 2] == ',') {
@@ -129,18 +192,57 @@ std::string MetricsJson(const MetricsRegistry& metrics) {
     out += "    \"" + name + "\": " + JsonNumber(value);
     first = false;
   }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count()) +
+           ", \"sum\": " + std::to_string(h.sum()) +
+           ", \"max\": " + std::to_string(h.max()) +
+           ", \"mean\": " + JsonNumber(h.Mean()) +
+           ", \"p50\": " + JsonNumber(h.Percentile(50)) +
+           ", \"p95\": " + JsonNumber(h.Percentile(95)) +
+           ", \"p99\": " + JsonNumber(h.Percentile(99)) + ", \"buckets\": [";
+    int last = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) != 0) last = b;
+    }
+    for (int b = 0; b <= last; ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(h.bucket(b));
+    }
+    out += "]}";
+  }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
 }
 
+Status WriteTextFile(const std::string& body, const std::string& path,
+                     const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(std::string("cannot open ") + what +
+                            " output file " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::Internal(std::string("short write to ") + what +
+                            " output file " + path);
+  }
+  return Status::Ok();
+}
+
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
-  return WriteFile(ChromeTraceJson(tracer), path, "trace");
+  return WriteTextFile(ChromeTraceJson(tracer), path, "trace");
 }
 
 Status WriteMetricsJson(const MetricsRegistry& metrics,
                         const std::string& path) {
-  return WriteFile(MetricsJson(metrics), path, "metrics");
+  return WriteTextFile(MetricsJson(metrics), path, "metrics");
 }
 
 }  // namespace pdatalog

@@ -20,10 +20,22 @@ namespace pdatalog {
 // sanitizes rings that dropped events mid-span: an unmatched End is
 // skipped and unclosed Begins are closed at the ring's last timestamp,
 // so the output always has well-formed begin/end nesting.
+//
+// kFlowSend/kFlowRecv instants are not emitted directly; instead the
+// writer pairs them by (sender, receiver, frame sequence) across rings
+// and emits one Chrome flow-start ("ph":"s") on the sender's track and
+// one flow-finish ("ph":"f") on the receiver's track per matched pair,
+// sharing a unique numeric id — Perfetto draws these as arrows between
+// the enclosing slices. Unmatched points (ring overflow dropped one
+// side) are omitted, so every exported flow id appears exactly twice.
 std::string ChromeTraceJson(const Tracer& tracer);
 
 // Renders the registry as one flat JSON object:
-//   {"counters": {name: integer, ...}, "gauges": {name: number, ...}}
+//   {"counters": {name: integer, ...}, "gauges": {name: number, ...},
+//    "histograms": {name: {count, sum, max, mean, p50, p95, p99,
+//                          buckets: [...]}, ...}}
+// A histogram's buckets array is trimmed after its last non-empty
+// log2 bucket.
 std::string MetricsJson(const MetricsRegistry& metrics);
 
 // File-writing variants. Failures (unwritable path) return an error
@@ -31,6 +43,12 @@ std::string MetricsJson(const MetricsRegistry& metrics);
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
 Status WriteMetricsJson(const MetricsRegistry& metrics,
                         const std::string& path);
+
+// Shared helper: writes `body` to `path`, returning an error Status
+// naming `what` and the path on failure. Used by the exporters above
+// and by the profile-report writer (obs/analyze.h).
+Status WriteTextFile(const std::string& body, const std::string& path,
+                     const char* what);
 
 }  // namespace pdatalog
 

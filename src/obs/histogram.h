@@ -1,0 +1,107 @@
+// Fixed-footprint log2-bucketed histogram for hot-path latency and
+// size distributions.
+//
+// Design constraints match the trace rings (see obs/trace.h): all
+// storage is inline (64 buckets, no heap), Record never allocates or
+// locks, and each instance is single-writer — every worker owns its
+// own set (core/worker.h WorkerProfile) and the engine merges them
+// into the MetricsRegistry after the workers have joined.
+//
+// Bucket i holds values in [2^(i-1), 2^i) for i >= 1; bucket 0 holds
+// exactly 0. Values at or above 2^62 clamp into the last bucket.
+// Percentile readouts interpolate linearly inside the bucket and are
+// clamped to the observed maximum, so p50/p95/p99 are within a factor
+// of two of the true order statistic — plenty for the skew and tail
+// questions the profiler answers, at 64*8 bytes per distribution.
+#ifndef PDATALOG_OBS_HISTOGRAM_H_
+#define PDATALOG_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pdatalog {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  // Which bucket `value` lands in: 0 for 0, otherwise
+  // floor(log2(value)) + 1, clamped to the last bucket.
+  static int BucketOf(uint64_t value) {
+    int b = 0;
+    while (value != 0 && b < kBuckets - 1) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  // Inclusive lower bound of bucket `b`.
+  static uint64_t BucketLow(int b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  void Record(uint64_t value) {
+    ++buckets_[BucketOf(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  void Merge(const Histogram& other) {
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(int b) const { return buckets_[b]; }
+  bool empty() const { return count_ == 0; }
+
+  double Mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Value at percentile `p` in [0, 100], linearly interpolated inside
+  // the containing bucket and clamped to the observed maximum. Returns
+  // 0 for an empty histogram.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return 0.0;
+    if (p > 100.0) p = 100.0;
+    double target = p / 100.0 * static_cast<double>(count_);
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      double in_bucket = static_cast<double>(buckets_[b]);
+      if (static_cast<double>(cum) + in_bucket >= target) {
+        double lo = static_cast<double>(BucketLow(b));
+        // Upper edge, pulled down to the observed max so the readout
+        // never exceeds any recorded value.
+        double hi = std::min(static_cast<double>(uint64_t{1} << b),
+                             static_cast<double>(max_) + 1.0);
+        if (b == kBuckets - 1) hi = static_cast<double>(max_) + 1.0;
+        double frac = (target - static_cast<double>(cum)) / in_bucket;
+        double v = lo + frac * (hi - lo);
+        return std::min(v, static_cast<double>(max_));
+      }
+      cum += buckets_[b];
+    }
+    return static_cast<double>(max_);
+  }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_OBS_HISTOGRAM_H_

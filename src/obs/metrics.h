@@ -22,6 +22,8 @@
 #include <map>
 #include <string>
 
+#include "obs/histogram.h"
+
 namespace pdatalog {
 
 class MetricsRegistry {
@@ -48,9 +50,21 @@ class MetricsRegistry {
     return it == gauges_.end() ? 0.0 : it->second;
   }
 
-  // Folds another registry in: counters add (strata of a stratified
-  // run are sequential phases of one computation), gauges take the
-  // later value.
+  // Folds `histogram` into the named distribution, creating it empty.
+  // Naming convention: hist.* (hist.probe_ns, hist.block_tuples, ...).
+  void MergeHistogram(const std::string& name, const Histogram& histogram) {
+    histograms_[name].Merge(histogram);
+  }
+
+  // Reads a distribution; nullptr when the run never recorded it.
+  const Histogram* FindHistogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  // Folds another registry in: counters add and histograms merge
+  // bucket-wise (strata of a stratified run are sequential phases of
+  // one computation), gauges take the later value.
   void Merge(const MetricsRegistry& other) {
     for (const auto& [name, value] : other.counters_) {
       counters_[name] += value;
@@ -58,20 +72,31 @@ class MetricsRegistry {
     for (const auto& [name, value] : other.gauges_) {
       gauges_[name] = value;
     }
+    for (const auto& [name, histogram] : other.histograms_) {
+      histograms_[name].Merge(histogram);
+    }
   }
 
-  bool empty() const { return counters_.empty() && gauges_.empty(); }
-  size_t size() const { return counters_.size() + gauges_.size(); }
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
 
   // Sorted views for deterministic export.
   const std::map<std::string, uint64_t>& counters() const {
     return counters_;
   }
   const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace pdatalog

@@ -28,6 +28,10 @@ const char* TracePhaseName(TracePhase phase) {
       return "corrupt-frame";
     case TracePhase::kDupFrame:
       return "dup-frame";
+    case TracePhase::kFlowSend:
+      return "flow-send";
+    case TracePhase::kFlowRecv:
+      return "flow-recv";
   }
   return "unknown";
 }

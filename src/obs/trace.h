@@ -27,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace pdatalog {
 
 // Everything a trace event can name. Span phases bracket the worker
@@ -46,7 +48,30 @@ enum class TracePhase : uint16_t {
   kRetransmit,    // unacked frames re-sent; arg = frames
   kCorruptFrame,  // receiver discarded a corrupt frame
   kDupFrame,      // receiver discarded a duplicate frame
+  kFlowSend,      // block frame enqueued; arg = PackFlowArg(dest, seq)
+  kFlowRecv,      // block frame drained; arg = PackFlowArg(source, seq)
 };
+
+// Flow instants pair each frame's send with its delivery so the
+// exporter can draw sender->receiver arrows and the analyzer can chain
+// critical-path segments across workers. The flow identity is the
+// existing (channel, per-channel frame sequence) pair — nothing is
+// added to the wire format — packed into the event's 32-bit arg:
+// the peer processor id in the top 10 bits (the CLI caps processors at
+// 1024) and the frame sequence in the low 22 bits. Channels stop
+// emitting flow instants past 2^22 frames rather than wrapping.
+inline constexpr int kFlowSeqBits = 22;
+inline constexpr uint32_t kFlowMaxSeq = (uint32_t{1} << kFlowSeqBits) - 1;
+inline constexpr int kFlowMaxPeer = (1 << (32 - kFlowSeqBits)) - 1;
+
+inline uint32_t PackFlowArg(int peer, uint64_t seq) {
+  return (static_cast<uint32_t>(peer) << kFlowSeqBits) |
+         (static_cast<uint32_t>(seq) & kFlowMaxSeq);
+}
+inline int FlowPeer(uint32_t arg) {
+  return static_cast<int>(arg >> kFlowSeqBits);
+}
+inline uint32_t FlowSeq(uint32_t arg) { return arg & kFlowMaxSeq; }
 
 // Stable lowercase name used by the exporters and tests.
 const char* TracePhaseName(TracePhase phase);
@@ -80,6 +105,18 @@ class TraceRing {
   void End(TracePhase phase) { Append(phase, TraceEventKind::kEnd, 0); }
   void Instant(TracePhase phase, uint32_t arg = 0) {
     Append(phase, TraceEventKind::kInstant, arg);
+  }
+
+  // Replay/test hook: appends a fully formed event with the caller's
+  // timestamp instead of stamping the clock. Same drop-newest overflow
+  // semantics as Begin/End/Instant. The analyzer tests use this to
+  // build synthetic traces with known geometry.
+  void Append(const TraceEvent& event) {
+    if (used_ == events_.size()) {
+      ++dropped_;
+      return;
+    }
+    events_[used_++] = event;
   }
 
   int id() const { return id_; }
@@ -140,15 +177,22 @@ class Tracer {
 
 // RAII span: emits Begin on construction and End on destruction. A
 // null ring disables both at the cost of one branch — this is the only
-// fast-path cost of compiled-in instrumentation.
+// fast-path cost of compiled-in instrumentation. An optional histogram
+// additionally records the span's duration in ticks on destruction;
+// like the ring it is skipped (one branch) when null.
 class TraceScope {
  public:
-  TraceScope(TraceRing* ring, TracePhase phase, uint32_t arg = 0)
-      : ring_(ring), phase_(phase) {
+  TraceScope(TraceRing* ring, TracePhase phase, uint32_t arg = 0,
+             Histogram* histogram = nullptr)
+      : ring_(ring), phase_(phase), histogram_(histogram) {
     if (ring_ != nullptr) ring_->Begin(phase, arg);
+    if (histogram_ != nullptr) start_ticks_ = TraceRing::NowTicks();
   }
   ~TraceScope() {
     if (ring_ != nullptr) ring_->End(phase_);
+    if (histogram_ != nullptr) {
+      histogram_->Record(TraceRing::NowTicks() - start_ticks_);
+    }
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
@@ -156,6 +200,8 @@ class TraceScope {
  private:
   TraceRing* ring_;
   TracePhase phase_;
+  Histogram* histogram_;
+  uint64_t start_ticks_ = 0;
 };
 
 }  // namespace pdatalog

@@ -140,7 +140,7 @@ bool Relation::InsertView(const Value* values, int n) {
 size_t Relation::InsertBlock(const Value* rows, int arity, uint32_t count) {
   assert(arity == arity_);
   if (count == 0) return 0;
-  TraceScope span(trace_, TracePhase::kInsert, count);
+  TraceScope span(trace_, TracePhase::kInsert, count, insert_profile_);
   // Reserve dedup capacity for the worst case (every row new) so the
   // ingest loop below never rehashes mid-block.
   if ((rows_.size() + count) * 4 > dedup_.size() * 3) {

@@ -28,7 +28,8 @@
 
 namespace pdatalog {
 
-class TraceRing;  // obs/trace.h; storage only holds a pointer
+class TraceRing;   // obs/trace.h; storage only holds a pointer
+class Histogram;   // obs/histogram.h; likewise
 
 // Hash of a value sequence; the one function the dedup set and every
 // column index agree on, so a probe can hash bound values in place and
@@ -199,6 +200,14 @@ class Relation {
   // cost of one branch per block.
   void set_trace(TraceRing* ring) { trace_ = ring; }
 
+  // Companion hook: when set, each bulk ingest also records its
+  // duration into `histogram` (owned by the worker that mutates this
+  // relation; see WorkerProfile::insert_ns). Same threading contract
+  // as set_trace.
+  void set_insert_profile(Histogram* histogram) {
+    insert_profile_ = histogram;
+  }
+
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
@@ -218,6 +227,7 @@ class Relation {
   uint64_t dedup_mask_ = 0;
   std::unordered_map<uint32_t, ColumnIndex> indexes_;
   TraceRing* trace_ = nullptr;  // optional bulk-insert span target
+  Histogram* insert_profile_ = nullptr;  // optional ingest durations
 };
 
 }  // namespace pdatalog

@@ -371,5 +371,69 @@ TEST(CliRunTest, EmbeddedQueriesAnsweredInParallelMode) {
   EXPECT_NE(report->find("true"), std::string::npos);
 }
 
+TEST(CliParseTest, ProfileAndRingFlags) {
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--profile", "--trace-ring-kb=8", "p.dl"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_TRUE(options->profile);
+  EXPECT_TRUE(options->profile_file.empty());
+  EXPECT_EQ(options->trace_ring_kb, 8);
+
+  options = ParseCliArgs({"--profile=out.json", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->profile);
+  EXPECT_EQ(options->profile_file, "out.json");
+
+  EXPECT_FALSE(ParseCliArgs({"--profile=", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--trace-ring-kb=0", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--trace-ring-kb=-4", "p.dl"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--trace-ring-kb=2000000", "p.dl"}).ok());
+}
+
+TEST(CliRunTest, ProfilePrintsAnalysisWithoutTraceFile) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--profile", "--processors=2", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("profile:"), std::string::npos) << *report;
+  EXPECT_NE(report->find("overall skew"), std::string::npos);
+  EXPECT_NE(report->find("per-worker busy/idle"), std::string::npos);
+  EXPECT_NE(report->find("communication matrix"), std::string::npos);
+  EXPECT_NE(report->find("critical path"), std::string::npos);
+  EXPECT_NE(report->find("percentiles"), std::string::npos);
+}
+
+TEST(CliRunTest, ProfileSequentialMode) {
+  StatusOr<CliOptions> options =
+      ParseCliArgs({"--mode=seq", "--profile", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  StatusOr<std::string> report = RunCli(*options, kAncestor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("profile:"), std::string::npos) << *report;
+  EXPECT_NE(report->find("1 workers"), std::string::npos);
+}
+
+TEST(CliRunTest, TinyRingWarnsAboutDrops) {
+  // 1 KiB = 64 events per ring: a parallel run overflows immediately
+  // and must say so instead of silently truncating the analysis.
+  StatusOr<CliOptions> options = ParseCliArgs(
+      {"--profile", "--trace-ring-kb=1", "--processors=4", "p.dl"});
+  ASSERT_TRUE(options.ok());
+  // A 40-edge chain runs ~40 rounds: far more than 64 events per ring.
+  std::string source =
+      "anc(X, Y) :- par(X, Y).\n"
+      "anc(X, Y) :- par(X, Z), anc(Z, Y).\n";
+  for (int i = 0; i < 40; ++i) {
+    source += "par(n" + std::to_string(i) + ", n" +
+              std::to_string(i + 1) + ").\n";
+  }
+  StatusOr<std::string> report = RunCli(*options, source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("warning: trace ring overflow dropped"),
+            std::string::npos)
+      << *report;
+}
+
 }  // namespace
 }  // namespace pdatalog

@@ -137,6 +137,40 @@ TEST(HotPathAllocTest, EnabledRingEmitIsAllocationFree) {
       << (after - before) << " heap allocations while emitting events";
 }
 
+TEST(HotPathAllocTest, HistogramRecordAllocatesNothing) {
+  // WorkerProfile histograms sit on the enabled-tracing hot path:
+  // Record is a bucket increment plus three scalar updates, with all
+  // storage inline in the instance.
+  Histogram h;
+  uint64_t before = AllocCount();
+  for (uint64_t i = 0; i < 10000; ++i) h.Record(i * 37);
+  h.Record(~uint64_t{0});  // clamp path: lands in the last bucket
+  uint64_t after = AllocCount();
+  EXPECT_EQ(h.count(), 10001u);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations while recording";
+}
+
+TEST(HotPathAllocTest, ScopeWithHistogramAndFlowInstantsAllocatesNothing) {
+  // The full enabled-tracing span cost: ring Begin/End, span-duration
+  // histogram Record, and the channel's flow-send/recv instants.
+  TraceRing ring(0, 4096);
+  Histogram durations;
+  uint64_t before = AllocCount();
+  for (int i = 0; i < 1000; ++i) {
+    TraceScope span(&ring, TracePhase::kDrain, 0, &durations);
+    ring.Instant(TracePhase::kFlowSend,
+                 PackFlowArg(3, static_cast<uint64_t>(i)));
+    ring.Instant(TracePhase::kFlowRecv,
+                 PackFlowArg(1, static_cast<uint64_t>(i)));
+  }
+  uint64_t after = AllocCount();
+  EXPECT_EQ(durations.count(), 1000u);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before)
+      << " heap allocations on the traced span + flow path";
+}
+
 TEST(HotPathAllocTest, IndexProbeAllocatesNothing) {
   Relation rel(2);
   for (Value i = 0; i < 1000; ++i) rel.Insert(Tuple{i % 31, i});

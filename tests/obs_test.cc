@@ -2,7 +2,9 @@
 // overflow semantics, span nesting, Chrome-trace and metrics JSON
 // exporters, and the registry-is-source-of-truth contract against the
 // parallel engine.
+#include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -357,6 +359,209 @@ TEST(MetricsTest, RegistryAgreesWithParallelResultScalars) {
               static_cast<uint64_t>(result->workers[i].rounds));
   }
   EXPECT_EQ(worker_firings, result->total_firings);
+}
+
+TEST(HistogramTest, RecordTracksExactScalars) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 1000ull}) h.Record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1106u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1106.0 / 6.0);
+  // Bucket geometry: 0 -> 0, v -> floor(log2 v) + 1.
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketLow(0), 0u);
+  EXPECT_EQ(Histogram::BucketLow(1), 1u);
+  EXPECT_EQ(Histogram::BucketLow(5), 16u);
+  EXPECT_EQ(h.bucket(0), 1u);  // the recorded 0
+  EXPECT_EQ(h.bucket(2), 2u);  // 2 and 3
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndClamped) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1024; ++v) h.Record(v);
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_LE(v, static_cast<double>(h.max())) << "p" << p;
+    prev = v;
+  }
+  // log2 buckets are within a factor of two of the order statistic.
+  EXPECT_GE(h.Percentile(50), 256.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1024.0);
+  // Oversized p clamps instead of reading past the buckets.
+  EXPECT_DOUBLE_EQ(h.Percentile(250), h.Percentile(100));
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a, b;
+  for (uint64_t v = 0; v < 16; ++v) a.Record(v);
+  for (uint64_t v = 100; v < 200; ++v) b.Record(v);
+  uint64_t sum_a = a.sum();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 116u);
+  EXPECT_EQ(a.sum(), sum_a + b.sum());
+  EXPECT_EQ(a.max(), 199u);
+  for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+    uint64_t expected = 0;
+    for (uint64_t v = 0; v < 16; ++v) {
+      if (Histogram::BucketOf(v) == bucket) ++expected;
+    }
+    for (uint64_t v = 100; v < 200; ++v) {
+      if (Histogram::BucketOf(v) == bucket) ++expected;
+    }
+    EXPECT_EQ(a.bucket(bucket), expected) << "bucket " << bucket;
+  }
+}
+
+TEST(MetricsTest, MergeCombinesHistogramsAcrossStrata) {
+  // The stratified driver evaluates one stratum at a time and folds
+  // each stratum's registry into the run total: counters must add,
+  // gauges must keep the last stratum's value, histograms must merge
+  // bucket-wise — never overwrite.
+  MetricsRegistry stratum0;
+  Histogram h0;
+  h0.Record(10);
+  h0.Record(20);
+  stratum0.MergeHistogram("hist.probe_ns", h0);
+  stratum0.AddCounter("run.firings", 5);
+  stratum0.SetGauge("run.wall_seconds", 0.5);
+
+  MetricsRegistry stratum1;
+  Histogram h1;
+  h1.Record(1000);
+  stratum1.MergeHistogram("hist.probe_ns", h1);
+  stratum1.MergeHistogram("hist.drain_ns", h1);
+  stratum1.AddCounter("run.firings", 7);
+  stratum1.SetGauge("run.wall_seconds", 0.25);
+
+  MetricsRegistry total;
+  total.Merge(stratum0);
+  total.Merge(stratum1);
+  EXPECT_EQ(total.counter("run.firings"), 12u);
+  EXPECT_DOUBLE_EQ(total.gauge("run.wall_seconds"), 0.25);
+
+  const Histogram* probe = total.FindHistogram("hist.probe_ns");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->count(), 3u);
+  EXPECT_EQ(probe->sum(), 1030u);
+  EXPECT_EQ(probe->max(), 1000u);
+  const Histogram* drain = total.FindHistogram("hist.drain_ns");
+  ASSERT_NE(drain, nullptr);
+  EXPECT_EQ(drain->count(), 1u);
+  EXPECT_EQ(total.FindHistogram("absent"), nullptr);
+  // Histograms count toward size and non-emptiness.
+  EXPECT_EQ(total.histograms().size(), 2u);
+  EXPECT_FALSE(total.empty());
+}
+
+TEST(MetricsTest, JsonExportIncludesHistogramPercentiles) {
+  MetricsRegistry m;
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  m.MergeHistogram("hist.probe_ns", h);
+  m.AddCounter("run.firings", 1);
+  std::string json = MetricsJson(m);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"hist.probe_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+// Extracts the integer after every `"id":` in objects whose "ph" is
+// `phase`, in document order.
+std::vector<long> FlowIds(const std::string& json, char phase) {
+  std::vector<long> ids;
+  std::string marker = std::string("\"ph\":\"") + phase + "\"";
+  for (size_t pos = json.find(marker); pos != std::string::npos;
+       pos = json.find(marker, pos + 1)) {
+    size_t close = json.find('}', pos);
+    size_t id = json.find("\"id\":", pos);
+    if (id == std::string::npos || id > close) continue;
+    ids.push_back(std::strtol(json.c_str() + id + 5, nullptr, 10));
+  }
+  return ids;
+}
+
+TEST(ExportTest, FlowEventsPairSendsWithReceives) {
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 20);
+  const int P = 3;
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, P);
+
+  Tracer tracer(P);
+  ParallelOptions options;
+  options.tracer = &tracer;
+  StatusOr<ParallelResult> result =
+      RunParallel(bundle, &setup->edb, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->cross_frames, 0u);
+
+  std::string json = ChromeTraceJson(tracer);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid());
+
+  // Every emitted flow-start has exactly one flow-finish with the same
+  // id, and at least one cross-worker frame produced an arrow.
+  std::vector<long> starts = FlowIds(json, 's');
+  std::vector<long> finishes = FlowIds(json, 'f');
+  ASSERT_GT(starts.size(), 0u);
+  EXPECT_EQ(starts.size(), finishes.size());
+  std::sort(starts.begin(), starts.end());
+  std::sort(finishes.begin(), finishes.end());
+  EXPECT_EQ(starts, finishes);
+  EXPECT_EQ(std::adjacent_find(starts.begin(), starts.end()), starts.end())
+      << "duplicate flow ids";
+  // Chrome requires bp:e on the finish to bind at the enclosing slice.
+  EXPECT_EQ(CountOccurrences(json, "\"bp\":\"e\""), finishes.size());
+  EXPECT_EQ(CountOccurrences(json, "\"cat\":\"flow\""),
+            starts.size() + finishes.size());
+}
+
+TEST(MetricsTest, TracedParallelRunRecordsHistograms) {
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 16);
+  const int P = 3;
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, P);
+
+  Tracer tracer(P);
+  ParallelOptions options;
+  options.tracer = &tracer;
+  StatusOr<ParallelResult> result =
+      RunParallel(bundle, &setup->edb, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const MetricsRegistry& m = result->metrics;
+  for (const char* name :
+       {"hist.probe_ns", "hist.drain_ns", "hist.block_tuples",
+        "hist.queue_frames_at_drain"}) {
+    const Histogram* h = m.FindHistogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count(), 0u) << name;
+  }
+
+  // An untraced run records none: the hot path must not pay for
+  // distributions nobody asked for.
+  auto setup2 = MakeAncestorSetup();
+  GenChain(&setup2->symbols, &setup2->edb, "par", 16);
+  RewriteBundle bundle2 =
+      MakeAncestorBundle(setup2.get(), AncestorScheme::kExample3, P);
+  StatusOr<ParallelResult> untraced = RunParallel(bundle2, &setup2->edb);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_TRUE(untraced->metrics.histograms().empty());
 }
 
 TEST(SequentialTraceTest, EvaluatorEmitsInitAndRounds) {

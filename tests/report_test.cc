@@ -119,6 +119,50 @@ TEST(ReportTest, FramesMatrixConsistentWithWorkerFrames) {
   }
 }
 
+TEST(ReportTest, PercentileTableRendersOnlyWhenHistogramsPresent) {
+  ParallelResult result = RunAncestor(3);  // untraced: no histograms
+  EXPECT_EQ(RenderReport(result).find("percentiles"), std::string::npos);
+
+  Histogram h;
+  for (uint64_t v = 1; v <= 64; ++v) h.Record(v);
+  result.metrics.MergeHistogram("hist.probe_ns", h);
+  std::string report = RenderReport(result);
+  EXPECT_NE(report.find("percentiles"), std::string::npos);
+  EXPECT_NE(report.find("hist.probe_ns"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+
+  ReportOptions off;
+  off.histograms = false;
+  EXPECT_EQ(RenderReport(result, off).find("percentiles"),
+            std::string::npos);
+}
+
+TEST(ReportTest, TraceDropWarningAppearsInTotals) {
+  ParallelResult result = RunAncestor(2);
+  EXPECT_EQ(RenderReport(result).find("warning:"), std::string::npos);
+  result.metrics.AddCounter("trace.dropped", 5);
+  std::string report = RenderReport(result);
+  EXPECT_NE(report.find("warning: trace ring overflow dropped 5 events"),
+            std::string::npos);
+  EXPECT_NE(report.find("--trace-ring-kb"), std::string::npos);
+}
+
+TEST(ReportTest, MakeProfileContextMirrorsResult) {
+  ParallelResult result = RunAncestor(3);
+  ProfileContext ctx = MakeProfileContext(result);
+  EXPECT_EQ(ctx.tuples_matrix, result.channel_matrix);
+  EXPECT_EQ(ctx.frames_matrix, result.frames_matrix);
+  EXPECT_EQ(ctx.metrics, &result.metrics);
+  ASSERT_EQ(ctx.sent_by_round.size(), result.worker_rounds.size());
+  for (size_t i = 0; i < ctx.sent_by_round.size(); ++i) {
+    ASSERT_EQ(ctx.sent_by_round[i].size(), result.worker_rounds[i].size());
+    for (size_t r = 0; r < ctx.sent_by_round[i].size(); ++r) {
+      EXPECT_EQ(ctx.sent_by_round[i][r],
+                result.worker_rounds[i][r].sent_to);
+    }
+  }
+}
+
 TEST(TimelineTest, RendersOneRowPerProcessor) {
   ParallelResult result = RunAncestor(3);
   std::string timeline = RenderBspTimeline(result, 1.0, 0.0);
