@@ -255,6 +255,7 @@ struct RunResult {
   size_t fixpoint_size = 0;
   int rounds = 0;
   double seconds = 0;
+  uint64_t batch_probes = 0;  // batch-kernel invocations (flat runs only)
 };
 
 RunResult RunLegacy(const SirupWorkload& w) {
@@ -293,11 +294,13 @@ RunResult RunFlat(const SirupWorkload& w) {
 
   JoinScratch scratch;
   ExecStats stats;
-  auto sink = [&head](const Value* values, int n) {
-    head.InsertView(values, n);
+  BatchInserter inserter(&head);
+  auto sink = [&inserter](const Value* values, int n) {
+    inserter.Push(values, n);
   };
   std::vector<AtomInput> init_inputs = {{&base, 0, base.size()}};
   JoinExecutor::Execute(w.init, init_inputs, nullptr, sink, &stats, &scratch);
+  inserter.Flush();
 
   for (const auto& [pred, mask] : w.delta.required_indexes()) {
     (void)pred;
@@ -312,10 +315,12 @@ RunResult RunFlat(const SirupWorkload& w) {
     inputs[1 - w.recursive_body_index] = AtomInput{&base, 0, base.size()};
     inputs[w.recursive_body_index] = AtomInput{&head, old_end, frontier};
     JoinExecutor::Execute(w.delta, inputs, nullptr, sink, &stats, &scratch);
+    inserter.Flush();
     old_end = frontier;
     ++r.rounds;
   }
   r.fixpoint_size = head.size();
+  r.batch_probes = stats.batch_probes;
   r.seconds = timer.ElapsedSeconds();
   return r;
 }
@@ -364,6 +369,7 @@ int main() {
   bench::BenchJson json("hotpath");
   bool all_match = true;
   double min_speedup = 1e9;
+  uint64_t total_batch_probes = 0;
 
   SymbolTable symbols;
   std::vector<SirupWorkload> workloads;
@@ -416,8 +422,9 @@ int main() {
           assign_rel.Insert(assign->row(i));
         JoinScratch scratch;
         ExecStats stats;
-        auto sink = [&pt](const Value* values, int n) {
-          pt.InsertView(values, n);
+        BatchInserter inserter(&pt);
+        auto sink = [&inserter](const Value* values, int n) {
+          inserter.Push(values, n);
         };
         for (const Tuple& t : news) pt.Insert(t);
         for (const auto& [pred, mask] : w.delta.required_indexes()) {
@@ -431,10 +438,12 @@ int main() {
               {&assign_rel, 0, assign_rel.size()}, {&pt, old_end, frontier}};
           JoinExecutor::Execute(w.delta, inputs, nullptr, sink, &stats,
                                 &scratch);
+          inserter.Flush();
           old_end = frontier;
           ++r.rounds;
         }
         r.fixpoint_size = pt.size();
+        r.batch_probes = stats.batch_probes;
       } else {
         LegacyRelation assign_rel(2), pt(2);
         for (size_t i = 0; i < assign->size(); ++i)
@@ -472,6 +481,7 @@ int main() {
     all_match = all_match && match;
     double speedup = flat.seconds > 0 ? legacy.seconds / flat.seconds : 0;
     min_speedup = std::min(min_speedup, speedup);
+    total_batch_probes += flat.batch_probes;
     std::printf(
         "points_to: fixpoint=%zu rounds=%d  legacy %.3fs  flat %.3fs  "
         "speedup %.2fx  fixpoints %s\n",
@@ -508,6 +518,7 @@ int main() {
     all_match = all_match && match;
     double speedup = flat.seconds > 0 ? legacy.seconds / flat.seconds : 0;
     min_speedup = std::min(min_speedup, speedup);
+    total_batch_probes += flat.batch_probes;
     std::printf(
         "%s: fixpoint=%zu rounds=%d  legacy %.3fs  flat %.3fs  "
         "speedup %.2fx  fixpoints %s\n",
@@ -623,6 +634,8 @@ int main() {
       .Set("workload", "summary")
       .Set("min_join_speedup", min_speedup)
       .Set("target_speedup", 2.0)
+      .Set("batch_kernel", total_batch_probes > 0)
+      .Set("batch_probes", total_batch_probes)
       .Set("all_fixpoints_match", all_match);
   json.WriteFile();
 

@@ -23,6 +23,7 @@
 #ifndef PDATALOG_CORE_CHANNEL_H_
 #define PDATALOG_CORE_CHANNEL_H_
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -87,26 +88,38 @@ struct Message {
   size_t WireBytes() const { return MessageWireBytes(tuple.arity()); }
 };
 
-// A run of same-predicate tuples shipped as one frame. Values are
-// stored row-major (append order) — the wire encoder transposes to the
-// columnar layout, and the decoder transposes back.
+// A run of same-predicate tuples shipped as one frame. Send-side blocks
+// accumulate row-major (append order) and the wire encoder transposes
+// to the columnar layout; decoded blocks keep the wire's column-major
+// layout (`columnar` set) so the receive path can append them to the
+// column store without ever re-rowifying.
 struct TupleBlock {
   Symbol predicate = 0;
   int arity = 0;
   uint32_t count = 0;
-  std::vector<Value> values;  // count * arity, row-major
+  bool columnar = false;      // layout of `values`; false = row-major
+  std::vector<Value> values;  // count * arity
 
   void Append(const Value* vals, int n) {
+    assert(!columnar);
     values.insert(values.end(), vals, vals + n);
     ++count;
   }
+  // Layout-aware single-cell read (tests and cold paths).
+  Value value(uint32_t r, int c) const {
+    return columnar ? values[static_cast<size_t>(c) * count + r]
+                    : values[static_cast<size_t>(r) * arity + c];
+  }
+  // Row pointer; only meaningful for send-side (row-major) blocks.
   const Value* row(uint32_t r) const {
+    assert(!columnar);
     return values.data() + static_cast<size_t>(r) * arity;
   }
   size_t WireBytes() const { return BlockWireBytes(arity, count); }
   // Keeps capacity for the next accumulation cycle.
   void Reset() {
     count = 0;
+    columnar = false;
     values.clear();
   }
 };

@@ -120,9 +120,13 @@ void AbsorbWorkerStats(int i, const WorkerStats& w, MetricsRegistry* m) {
   m->AddCounter(prefix + "broadcasts", w.broadcasts);
   m->AddCounter(prefix + "frames", w.frames);
   m->AddCounter(prefix + "rows_examined", w.rows_examined);
+  m->AddCounter(prefix + "batch_fallbacks", w.batch_fallbacks);
   m->AddCounter("run.firings", w.firings);
   m->AddCounter("run.cross_tuples", w.sent_cross);
   m->AddCounter("run.self_tuples", w.sent_self);
+  // Scalar-join executions the batch kernel could not cover; a nonzero
+  // count under --profile flags plans degenerating off the fast path.
+  m->AddCounter("eval.batch_fallbacks", w.batch_fallbacks);
 }
 
 void AbsorbFaultCounters(const FaultCounters& f, MetricsRegistry* m) {
@@ -326,6 +330,8 @@ StatusOr<ParallelResult> RunParallel(const RewriteBundle& bundle,
       fold("hist.idle_ns", p.idle_ns);
       fold("hist.block_tuples", p.block_tuples);
       fold("hist.queue_frames_at_drain", p.queue_frames);
+      fold("hist.probe_batch", p.probe_batch);
+      fold("hist.insert_tuples", p.insert_tuples);
     }
   }
 
@@ -426,6 +432,7 @@ StatusOr<ParallelResult> RunParallelStratified(
       total.workers[i].broadcasts += w.broadcasts;
       total.workers[i].frames += w.frames;
       total.workers[i].rows_examined += w.rows_examined;
+      total.workers[i].batch_fallbacks += w.batch_fallbacks;
       for (int j = 0; j < num_processors; ++j) {
         total.channel_matrix[i][j] += result->channel_matrix[i][j];
         total.bytes_matrix[i][j] += result->bytes_matrix[i][j];

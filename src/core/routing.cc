@@ -41,25 +41,18 @@ TupleRouter::TupleRouter(const std::vector<SendSpec>& specs,
   dest_stamp_.assign(static_cast<size_t>(num_processors), 0);
 }
 
-bool TupleRouter::Matches(const SendRoute& route, const Tuple& tuple) const {
+bool TupleRouter::Matches(const SendRoute& route, const Value* values) const {
   for (const ConstCheck& check : route.const_checks) {
-    if (tuple[check.column] != check.value) return false;
+    if (values[check.column] != check.value) return false;
   }
   for (const EqCheck& check : route.eq_checks) {
-    if (tuple[check.column] != tuple[check.earlier_column]) return false;
+    if (values[check.column] != values[check.earlier_column]) return false;
   }
   return true;
 }
 
-int TupleRouter::Route(Symbol pred, const Tuple& tuple,
-                       std::vector<int>* dests) {
-  if (pred != cached_pred_) {
-    auto it = routes_by_pred_.find(pred);
-    cached_pred_ = pred;
-    cached_routes_ = it == routes_by_pred_.end() ? nullptr : &it->second;
-  }
-  if (cached_routes_ == nullptr) return 0;
-
+int TupleRouter::RouteRow(const std::vector<SendRoute>& routes,
+                          const Value* values, std::vector<int>* dests) {
   if (++stamp_ == 0) {  // wrapped: every stale stamp must be cleared
     dest_stamp_.assign(dest_stamp_.size(), 0);
     stamp_ = 1;
@@ -72,11 +65,11 @@ int TupleRouter::Route(Symbol pred, const Tuple& tuple,
   };
 
   int broadcasts = 0;
-  for (const SendRoute& route : *cached_routes_) {
-    if (!Matches(route, tuple)) continue;  // cannot fire anyone's rule
+  for (const SendRoute& route : routes) {
+    if (!Matches(route, values)) continue;  // cannot fire anyone's rule
     if (route.determined) {
       for (size_t k = 0; k < route.var_columns.size(); ++k) {
-        vals_[k] = tuple[route.var_columns[k]];
+        vals_[k] = values[route.var_columns[k]];
       }
       int dest = registry_->Evaluate(
           route.function, vals_.data(),
@@ -89,6 +82,42 @@ int TupleRouter::Route(Symbol pred, const Tuple& tuple,
       for (int j = 0; j < num_processors_; ++j) add_dest(j);
     }
   }
+  return broadcasts;
+}
+
+int TupleRouter::Route(Symbol pred, const Value* values,
+                       std::vector<int>* dests) {
+  if (pred != cached_pred_) {
+    auto it = routes_by_pred_.find(pred);
+    cached_pred_ = pred;
+    cached_routes_ = it == routes_by_pred_.end() ? nullptr : &it->second;
+  }
+  if (cached_routes_ == nullptr) return 0;
+  return RouteRow(*cached_routes_, values, dests);
+}
+
+int TupleRouter::RouteBatch(Symbol pred, const Value* rows, int arity,
+                            uint32_t count, std::vector<int>* dests,
+                            std::vector<uint32_t>* offsets) {
+  offsets->clear();
+  // One predicate lookup for the whole batch (the memo still helps the
+  // next batch of the same predicate).
+  if (pred != cached_pred_) {
+    auto it = routes_by_pred_.find(pred);
+    cached_pred_ = pred;
+    cached_routes_ = it == routes_by_pred_.end() ? nullptr : &it->second;
+  }
+  if (cached_routes_ == nullptr) {
+    offsets->assign(count + 1, static_cast<uint32_t>(dests->size()));
+    return 0;
+  }
+  int broadcasts = 0;
+  const Value* row = rows;
+  for (uint32_t r = 0; r < count; ++r, row += arity) {
+    offsets->push_back(static_cast<uint32_t>(dests->size()));
+    broadcasts += RouteRow(*cached_routes_, row, dests);
+  }
+  offsets->push_back(static_cast<uint32_t>(dests->size()));
   return broadcasts;
 }
 

@@ -35,7 +35,20 @@ class TupleRouter {
   // sending-rule semantics of Section 3. Returns the number of
   // undetermined (broadcast) specs that matched, for stats. Not
   // thread-safe; each worker owns its router.
-  int Route(Symbol pred, const Tuple& tuple, std::vector<int>* dests);
+  int Route(Symbol pred, const Tuple& tuple, std::vector<int>* dests) {
+    return Route(pred, tuple.data(), dests);
+  }
+  // Same, from a raw value sequence (the worker's send path routes rows
+  // gathered out of the column store; no Tuple is built).
+  int Route(Symbol pred, const Value* values, std::vector<int>* dests);
+
+  // Routes `count` row-major rows in one call: one predicate lookup,
+  // per-row stamped dedup. Destinations append to `dests`;
+  // `offsets` receives count + 1 entries where row r's destinations are
+  // dests[offsets[r] .. offsets[r+1]). Returns the total number of
+  // undetermined (broadcast) spec matches across the batch.
+  int RouteBatch(Symbol pred, const Value* rows, int arity, uint32_t count,
+                 std::vector<int>* dests, std::vector<uint32_t>* offsets);
 
   // Total routes compiled (for tests).
   size_t num_routes() const { return num_routes_; }
@@ -57,7 +70,11 @@ class TupleRouter {
     std::vector<int> var_columns;  // pattern columns of v(r), in order
   };
 
-  bool Matches(const SendRoute& route, const Tuple& tuple) const;
+  bool Matches(const SendRoute& route, const Value* values) const;
+  // Routes one row against the (non-null) route list, deduplicating
+  // destinations with a fresh stamp. Returns broadcast-spec matches.
+  int RouteRow(const std::vector<SendRoute>& routes, const Value* values,
+               std::vector<int>* dests);
 
   int num_processors_ = 0;
   const DiscriminatingRegistry* registry_ = nullptr;

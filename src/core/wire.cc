@@ -137,12 +137,18 @@ Status EncodeBlock(const TupleBlock& block, std::vector<uint8_t>* out) {
   PutU32(block.predicate, out);
   PutU16(static_cast<uint16_t>(kBlockArityFlag | block.arity), out);
   PutU32(block.count, out);
-  // Transpose the row-major accumulation buffer to the columnar wire
-  // layout: all of column 0's values, then column 1's, ...
-  for (int c = 0; c < block.arity; ++c) {
-    const Value* v = block.values.data() + c;
-    for (uint32_t r = 0; r < block.count; ++r, v += block.arity) {
-      PutU32(*v, out);
+  if (block.columnar) {
+    // Already column-major (a decoded block being re-encoded): the wire
+    // body is a straight copy.
+    for (Value v : block.values) PutU32(v, out);
+  } else {
+    // Transpose the row-major accumulation buffer to the columnar wire
+    // layout: all of column 0's values, then column 1's, ...
+    for (int c = 0; c < block.arity; ++c) {
+      const Value* v = block.values.data() + c;
+      for (uint32_t r = 0; r < block.count; ++r, v += block.arity) {
+        PutU32(*v, out);
+      }
     }
   }
   PutU32(Fnv1a(out->data() + start, out->size() - start), out);
@@ -199,16 +205,18 @@ Status DecodeBlockInto(const std::vector<uint8_t>& data, size_t* offset,
   block->predicate = predicate;
   block->arity = arity;
   block->count = count;
+  block->columnar = true;
   block->values.resize(static_cast<size_t>(arity) * count);
-  // Transpose back from the columnar wire layout to row-major storage.
+  // Keep the wire's column-major layout: one linear little-endian
+  // decode, no transpose — Relation::InsertBlock appends the columns
+  // directly.
   const uint8_t* p = data.data() + *offset;
-  for (int c = 0; c < arity; ++c) {
-    Value* v = block->values.data() + c;
-    for (uint32_t r = 0; r < count; ++r, v += arity, p += 4) {
-      *v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+  Value* v = block->values.data();
+  for (size_t i = 0, total = static_cast<size_t>(arity) * count; i < total;
+       ++i, p += 4) {
+    v[i] = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
            static_cast<uint32_t>(p[2]) << 16 |
            static_cast<uint32_t>(p[3]) << 24;
-    }
   }
   *offset += body + kWireChecksumBytes;
   return Status::Ok();

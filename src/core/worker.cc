@@ -55,13 +55,16 @@ Status Worker::Setup() {
   if (!compiled.ok()) return compiled.status();
   compiled_ = std::move(*compiled);
 
-  // Local t_out / t_in relations.
+  // Local t_out / t_in relations, plus a buffered inserter per t_out
+  // (the head relations the processing rules fire into).
   for (Symbol p : bundle_->derived) {
     int arity = bundle_->arity.at(p);
-    local_db_.GetOrCreate(bundle_->out_name.at(p), arity);
+    Symbol out_sym = bundle_->out_name.at(p);
+    Relation& out = local_db_.GetOrCreate(out_sym, arity);
     local_db_.GetOrCreate(bundle_->in_name.at(p), arity);
     in_old_end_[bundle_->in_name.at(p)] = 0;
-    out_sent_end_[bundle_->out_name.at(p)] = 0;
+    out_sent_end_[out_sym] = 0;
+    head_inserters_.try_emplace(out_sym, &out);
   }
 
   // Occurrence lookup for fragment resolution.
@@ -142,13 +145,18 @@ void Worker::set_trace(TraceRing* ring) {
   trace_ = ring;
   // Bulk ingests into the t_in relations happen on this worker's thread
   // (DrainChannels), so they may share the worker's ring — and, when
-  // tracing is on, the worker's insert-duration histogram.
+  // tracing is on, the worker's ingest histograms.
   for (const auto& [in_sym, unused] : in_old_end_) {
     (void)unused;
     Relation* rel = local_db_.Find(in_sym);
     rel->set_trace(ring);
     rel->set_insert_profile(ring != nullptr ? &profile_.insert_ns : nullptr);
+    rel->set_insert_tuples(ring != nullptr ? &profile_.insert_tuples
+                                           : nullptr);
   }
+  // The batch join kernel records surviving keys per probe batch.
+  join_scratch_.probe_batch =
+      ring != nullptr ? &profile_.probe_batch : nullptr;
 }
 
 const Relation& Worker::OutputRelation(Symbol p) const {
@@ -174,7 +182,7 @@ Status Worker::Init() {
     const auto& variants = compiled_.rules()[r];
     if (variants.has_derived_body) continue;
     const Rule& rule = local_program_->rules[r];
-    Relation* head_rel = local_db_.Find(rule.head.predicate);
+    BatchInserter& inserter = head_inserters_.at(rule.head.predicate);
     std::vector<AtomInput> inputs(rule.body.size());
     for (size_t b = 0; b < rule.body.size(); ++b) {
       const Relation* src = body_sources_[r][b];
@@ -183,12 +191,14 @@ Status Worker::Init() {
     JoinExecutor::Execute(
         variants.full, inputs, bundle_->registry.get(),
         [&](const Value* values, int n) {
-          if (head_rel->InsertView(values, n)) ++stats_.out_inserted;
+          stats_.out_inserted += inserter.Push(values, n);
         },
         &es, &join_scratch_);
+    stats_.out_inserted += inserter.Flush();
   }
   stats_.firings += es.firings;
   stats_.rows_examined += es.rows_examined;
+  stats_.batch_fallbacks += es.batch_fallbacks;
   current_log_->firings = es.firings;
 
   // Route the initial output delta (Section 3: tuples derived by the
@@ -196,9 +206,7 @@ Status Worker::Init() {
   for (Symbol p : bundle_->derived) {
     Relation* out = local_db_.Find(bundle_->out_name.at(p));
     size_t& sent = out_sent_end_[bundle_->out_name.at(p)];
-    for (size_t row = sent; row < out->size(); ++row) {
-      SendTuple(p, out->row(row));
-    }
+    SendNewRows(p, *out, sent, out->size());
     sent = out->size();
   }
   FlushSends();
@@ -222,8 +230,8 @@ StatusOr<size_t> Worker::IngestBlock(const TupleBlock& block, int from) {
         std::to_string(block.arity) + ") from processor " +
         std::to_string(from));
   }
-  stats_.in_inserted +=
-      in_rel->InsertBlock(block.values.data(), block.arity, block.count);
+  stats_.in_inserted += in_rel->InsertBlock(
+      block.values.data(), block.arity, block.count, block.columnar);
   return static_cast<size_t>(block.count);
 }
 
@@ -308,7 +316,7 @@ void Worker::ProcessRound() {
       const auto& variants = compiled_.rules()[r];
       if (!variants.has_derived_body) continue;
       const Rule& rule = local_program_->rules[r];
-      Relation* head_rel = local_db_.Find(rule.head.predicate);
+      BatchInserter& inserter = head_inserters_.at(rule.head.predicate);
 
       for (const auto& [delta_idx, delta_rule] : variants.deltas) {
         std::vector<AtomInput> inputs(rule.body.size());
@@ -336,23 +344,23 @@ void Worker::ProcessRound() {
         JoinExecutor::Execute(
             delta_rule, inputs, bundle_->registry.get(),
             [&](const Value* values, int n) {
-              if (head_rel->InsertView(values, n)) ++stats_.out_inserted;
+              stats_.out_inserted += inserter.Push(values, n);
             },
             &es, &join_scratch_);
+        stats_.out_inserted += inserter.Flush();
       }
     }
   }
   stats_.firings += es.firings;
   stats_.rows_examined += es.rows_examined;
+  stats_.batch_fallbacks += es.batch_fallbacks;
   current_log_->firings = es.firings;
 
   // Send the new outputs, then advance the t_in watermarks.
   for (Symbol p : bundle_->derived) {
     Relation* out = local_db_.Find(bundle_->out_name.at(p));
     size_t& sent = out_sent_end_[bundle_->out_name.at(p)];
-    for (size_t row = sent; row < out->size(); ++row) {
-      SendTuple(p, out->row(row));
-    }
+    SendNewRows(p, *out, sent, out->size());
     sent = out->size();
   }
   for (auto& [in_sym, old_end] : in_old_end_) {
@@ -406,16 +414,10 @@ void Worker::FlushSends() {
   }
 }
 
-void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
-  // Destinations across all sending rules for this predicate, deduped
-  // by the router's round stamps: the channel predicate t_ij is a set,
-  // so a tuple travels each channel at most once no matter how many
-  // sending rules select it.
-  dests_.clear();
-  stats_.broadcasts +=
-      static_cast<uint64_t>(router_.Route(pred, tuple, &dests_));
-  if (dests_.empty()) return;
-
+void Worker::SendNewRows(Symbol pred, const Relation& out, size_t begin,
+                         size_t end) {
+  if (begin >= end) return;
+  const int arity = out.arity();
   int slot;
   if (pred == last_pred_) {
     slot = last_slot_;
@@ -424,24 +426,50 @@ void Worker::SendTuple(Symbol pred, const Tuple& tuple) {
     last_pred_ = pred;
     last_slot_ = slot;
   }
-  for (int dest : dests_) {
-    TupleBlock& block =
-        send_blocks_[static_cast<size_t>(dest) * num_derived_ + slot];
-    if (block.count == 0) {
-      block.predicate = pred;
-      block.arity = tuple.arity();
+
+  // Gather up to 256 rows out of the column store, route them in one
+  // batch (one predicate lookup, per-row stamp dedup: the channel
+  // predicate t_ij is a set, so a tuple travels each channel at most
+  // once no matter how many sending rules select it), then append each
+  // row to its destinations' accumulation blocks.
+  constexpr size_t kSendBatch = 256;
+  send_rows_.resize(kSendBatch * static_cast<size_t>(arity > 0 ? arity : 1));
+  const ColumnStore& store = out.store();
+  for (size_t base = begin; base < end; base += kSendBatch) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min(kSendBatch, end - base));
+    for (uint32_t r = 0; r < n; ++r) {
+      store.CopyRow(base + r,
+                    send_rows_.data() + static_cast<size_t>(r) * arity);
     }
-    block.Append(tuple.data(), tuple.arity());
-    if (current_log_ != nullptr) ++current_log_->sent_to[dest];
-    if (dest == id_) {
-      ++stats_.sent_self;
-    } else {
-      ++stats_.sent_cross;
-    }
-    // Mid-round flush once the block is full, bounding buffered bytes
-    // and letting the receiver overlap ingestion with our round.
-    if (block.count >= static_cast<uint32_t>(block_tuples_)) {
-      FlushBlock(dest, &block);
+    dests_.clear();
+    stats_.broadcasts += static_cast<uint64_t>(router_.RouteBatch(
+        pred, send_rows_.data(), arity, n, &dests_, &route_offsets_));
+    if (dests_.empty()) continue;
+    for (uint32_t r = 0; r < n; ++r) {
+      const Value* row = send_rows_.data() + static_cast<size_t>(r) * arity;
+      for (uint32_t k = route_offsets_[r]; k < route_offsets_[r + 1]; ++k) {
+        int dest = dests_[k];
+        TupleBlock& block =
+            send_blocks_[static_cast<size_t>(dest) * num_derived_ + slot];
+        if (block.count == 0) {
+          block.predicate = pred;
+          block.arity = arity;
+        }
+        block.Append(row, arity);
+        if (current_log_ != nullptr) ++current_log_->sent_to[dest];
+        if (dest == id_) {
+          ++stats_.sent_self;
+        } else {
+          ++stats_.sent_cross;
+        }
+        // Mid-round flush once the block is full, bounding buffered
+        // bytes and letting the receiver overlap ingestion with our
+        // round.
+        if (block.count >= static_cast<uint32_t>(block_tuples_)) {
+          FlushBlock(dest, &block);
+        }
+      }
     }
   }
 }

@@ -44,6 +44,8 @@ struct WorkerProfile {
   Histogram idle_ns;        // idle backoff duration, per wait
   Histogram block_tuples;   // tuples per flushed block frame
   Histogram queue_frames;   // frames pending when a drain ran
+  Histogram probe_batch;    // surviving keys per batch-kernel probe batch
+  Histogram insert_tuples;  // tuples per ingested block (dedup-blind)
 };
 
 struct WorkerStats {
@@ -57,6 +59,7 @@ struct WorkerStats {
   uint64_t broadcasts = 0;       // tuples broadcast for undetermined sends
   uint64_t frames = 0;           // block frames flushed (all destinations)
   uint64_t rows_examined = 0;
+  uint64_t batch_fallbacks = 0;  // joins the batch kernel could not cover
 };
 
 class Worker {
@@ -144,11 +147,14 @@ class Worker {
   // t_in deltas, then routes new t_out tuples.
   void ProcessRound();
 
-  // Applies the sending rules to one freshly derived `pred` tuple,
-  // appending it to the (destination, predicate) accumulation blocks.
-  // A block that reaches block_tuples_ flushes immediately;
-  // FlushSends() flushes the remainder at the end of the round.
-  void SendTuple(Symbol pred, const Tuple& tuple);
+  // Applies the sending rules to `out`'s freshly derived rows
+  // [begin, end): gathers up to 256 rows out of the column store,
+  // computes their destinations with one RouteBatch call, and appends
+  // each row to its (destination, predicate) accumulation blocks. A
+  // block that reaches block_tuples_ flushes immediately; FlushSends()
+  // flushes the remainder at the end of the round.
+  void SendNewRows(Symbol pred, const Relation& out, size_t begin,
+                   size_t end);
   // Ships one accumulated block as a single frame: one CountSend(n),
   // one lock acquisition, one sequence number — shared by the
   // shared-memory, serialized, and retransmit configurations.
@@ -181,7 +187,14 @@ class Worker {
   // Precompiled sending rules (pattern checks + routing positions per
   // predicate; see core/routing.h), built once in Setup().
   TupleRouter router_;
-  std::vector<int> dests_;  // scratch for SendTuple
+  // One buffered inserter per head (t_out) relation: rule firings
+  // batch through Relation::InsertBlock instead of one dedup probe
+  // per firing. Flushed after every Execute call, before anything
+  // reads the relation's size. Built in Setup().
+  std::unordered_map<Symbol, BatchInserter> head_inserters_;
+  std::vector<int> dests_;              // scratch for SendNewRows
+  std::vector<uint32_t> route_offsets_; // per-row dest ranges into dests_
+  std::vector<Value> send_rows_;        // row-major gather buffer
   JoinScratch join_scratch_;
   WorkerStats stats_;
   TraceRing* trace_ = nullptr;  // optional per-worker trace ring

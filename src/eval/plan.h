@@ -24,6 +24,8 @@
 #ifndef PDATALOG_EVAL_PLAN_H_
 #define PDATALOG_EVAL_PLAN_H_
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -32,6 +34,7 @@
 
 #include "datalog/ast.h"
 #include "datalog/validate.h"
+#include "obs/histogram.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
@@ -135,13 +138,27 @@ struct ExecStats {
   uint64_t firings = 0;
   // Index probes + scan rows examined; a rough work measure.
   uint64_t rows_examined = 0;
+  // Batches run by the vectorized scan->probe kernel.
+  uint64_t batch_probes = 0;
+  // Multi-step executions that fell back to the scalar recursive join
+  // (plan shape the batch kernel does not cover).
+  uint64_t batch_fallbacks = 0;
 };
 
-// Reusable per-caller scratch: holds the variable binding buffer so
-// repeated Execute() calls (one per rule variant per round) don't
-// reallocate it. A default-constructed scratch works for any rule.
+// Reusable per-caller scratch: holds the variable binding buffer and the
+// batch kernel's gather/hash buffers so repeated Execute() calls (one
+// per rule variant per round) don't reallocate them. A
+// default-constructed scratch works for any rule.
 struct JoinScratch {
   std::vector<Value> bindings;
+  // Batch kernel scratch: surviving scan row ids, their probe keys
+  // (column-major, kProbeBatch stride), and the precomputed key hashes.
+  std::vector<uint32_t> batch_rows;
+  std::vector<Value> batch_keys;
+  std::vector<uint64_t> batch_hashes;
+  // Optional: records the number of surviving keys per probe batch
+  // (WorkerProfile::probe_batch; null when profiling is off).
+  Histogram* probe_batch = nullptr;
 };
 
 // Recursive nested-loop/index join over the compiled steps, templated
@@ -152,21 +169,168 @@ struct JoinScratch {
 template <typename Sink>
 class JoinRunner {
  public:
+  // Rows gathered per batch by the vectorized scan->probe kernel.
+  static constexpr size_t kProbeBatch = 256;
+
   JoinRunner(const CompiledRule& compiled, const std::vector<AtomInput>& inputs,
              const ConstraintEvaluator* constraint_eval, Sink& sink,
-             ExecStats* stats, std::vector<Value>* bindings)
+             ExecStats* stats, JoinScratch* scratch)
       : compiled_(compiled),
         inputs_(inputs),
         constraint_eval_(constraint_eval),
         sink_(sink),
         stats_(stats),
-        bindings_(*bindings) {
+        scratch_(scratch),
+        bindings_(scratch->bindings) {
     bindings_.resize(compiled.num_vars());
   }
 
-  void Run() { Step(0); }
+  void Run() {
+    // The canonical semi-naive shape — scan the delta, probe one index —
+    // runs through the batch kernel; everything else recurses row at a
+    // time. Single-step rules are pure scans with nothing to batch, so
+    // only multi-step executions count as kernel fallbacks.
+    const auto& steps = compiled_.steps_;
+    if (steps.size() == 2 && steps[0].index_mask == 0 &&
+        steps[1].index_mask != 0 && steps[0].positions.size() <= 32) {
+      RunBatched();
+      return;
+    }
+    if (steps.size() >= 2) ++stats_->batch_fallbacks;
+    Step(0);
+  }
 
  private:
+  // Batch-at-a-time kernel for scan(step 0) -> probe(step 1) plans:
+  // gather up to kProbeBatch surviving delta rows, hash all their probe
+  // keys in one tight loop per key column, prefetch the index slots,
+  // then probe with the precomputed hashes and materialize matches.
+  // Emission order is identical to the scalar path (survivors in scan
+  // order, matches in ascending row-id order).
+  void RunBatched() {
+    const PlanStep& scan = compiled_.steps_[0];
+    const PlanStep& probe_step = compiled_.steps_[1];
+    const AtomInput& scan_input = inputs_[scan.body_index];
+    const AtomInput& probe_input = inputs_[probe_step.body_index];
+    const Relation& probe_rel = *probe_input.relation;
+    const ColumnIndex* index = probe_rel.GetIndex(probe_step.index_mask);
+    assert(index != nullptr &&
+           "index missing; evaluator must EnsureIndex first");
+    // The index may lag behind rows appended after the evaluator froze
+    // this round's scan bounds, but it must cover the probed range.
+    assert(index->built_upto() >= probe_input.end);
+
+    const ColumnStore& store = scan_input.relation->store();
+    const int scan_arity = static_cast<int>(scan.positions.size());
+    const int kn = std::popcount(probe_step.index_mask);
+
+    std::vector<uint32_t>& rows = scratch_->batch_rows;
+    std::vector<Value>& keys = scratch_->batch_keys;
+    std::vector<uint64_t>& hashes = scratch_->batch_hashes;
+    rows.resize(kProbeBatch);
+    keys.resize(static_cast<size_t>(kn) * kProbeBatch);
+    hashes.resize(kProbeBatch);
+
+    const Value* cols[32];
+    size_t base = scan_input.begin;
+    while (base < scan_input.end) {
+      // Clamp each batch to the column-chunk edge so every scan column
+      // reads through one raw pointer.
+      size_t run = scan_input.end - base;
+      for (int c = 0; c < scan_arity; ++c) {
+        size_t col_run;
+        cols[c] = store.ColumnSpan(c, base, &col_run);
+        run = std::min(run, col_run);
+      }
+      const size_t n = std::min(run, kProbeBatch);
+
+      // Phase 1: filter the scan rows (constants, repeated variables,
+      // ready constraints) and gather the survivors' probe keys
+      // column-major into `keys`.
+      uint32_t m = 0;
+      for (size_t i = 0; i < n; ++i) {
+        ++stats_->rows_examined;
+        bool ok = true;
+        for (int c = 0; c < scan_arity; ++c) {
+          const PlanPos& pos = scan.positions[c];
+          Value v = cols[c][i];
+          switch (pos.kind) {
+            case PlanPos::Kind::kConst:
+              if (v != pos.value) ok = false;
+              break;
+            case PlanPos::Kind::kBound:
+              if (v != bindings_[pos.var]) ok = false;
+              break;
+            case PlanPos::Kind::kFree:
+              bindings_[pos.var] = v;
+              break;
+          }
+          if (!ok) break;
+        }
+        if (!ok) continue;
+        for (int ci : scan.constraints_ready) {
+          if (!CheckConstraint(ci)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        int k = 0;
+        for (size_t c = 0; c < probe_step.positions.size(); ++c) {
+          if (!(probe_step.index_mask & (1u << c))) continue;
+          const PlanPos& pos = probe_step.positions[c];
+          keys[static_cast<size_t>(k) * kProbeBatch + m] =
+              pos.kind == PlanPos::Kind::kConst ? pos.value
+                                                : bindings_[pos.var];
+          ++k;
+        }
+        rows[m++] = static_cast<uint32_t>(base + i);
+      }
+      if (scratch_->probe_batch != nullptr) scratch_->probe_batch->Record(m);
+      if (m != 0) {
+        ++stats_->batch_probes;
+        // Phase 2: hash all probe keys — the same mix HashProjection
+        // applies, but as one tight loop per key column.
+        const uint64_t seed = 0x12345678u ^ static_cast<uint64_t>(kn);
+        for (uint32_t s = 0; s < m; ++s) hashes[s] = seed;
+        for (int k = 0; k < kn; ++k) {
+          const Value* col = keys.data() + static_cast<size_t>(k) * kProbeBatch;
+          for (uint32_t s = 0; s < m; ++s) {
+            hashes[s] = HashCombine(hashes[s], col[s]);
+          }
+        }
+        // Phase 3: overlap the probes' cache misses.
+        for (uint32_t s = 0; s < m; ++s) index->PrefetchHash(hashes[s]);
+        // Phase 4: probe with the precomputed hashes and materialize.
+        Value key_buf[32];
+        for (uint32_t s = 0; s < m; ++s) {
+          for (int k = 0; k < kn; ++k) {
+            key_buf[k] = keys[static_cast<size_t>(k) * kProbeBatch + s];
+          }
+          ColumnIndex::Probe probe = index->ProbeRangeHashed(
+              hashes[s], key_buf, kn, probe_input.begin, probe_input.end);
+          uint32_t row_id;
+          bool rebound = false;
+          while (probe.Next(&row_id)) {
+            if (!rebound) {
+              // Restore this survivor's scan bindings (phase 1 left the
+              // binding buffer at the batch's last row).
+              for (int c = 0; c < scan_arity; ++c) {
+                const PlanPos& pos = scan.positions[c];
+                if (pos.kind == PlanPos::Kind::kFree) {
+                  bindings_[pos.var] = store.cell(rows[s], c);
+                }
+              }
+              rebound = true;
+            }
+            TryRow(1, probe_step, probe_rel, row_id);
+          }
+        }
+      }
+      base += n;
+    }
+  }
+
   void Step(size_t step_no) {
     if (step_no == compiled_.steps_.size()) {
       Fire();
@@ -198,30 +362,35 @@ class JoinRunner {
           index->ProbeRange(key_buf, kn, input.begin, input.end);
       uint32_t row_id;
       while (probe.Next(&row_id)) {
-        TryRow(step_no, step, rel.row(row_id));
+        TryRow(step_no, step, rel, row_id);
       }
     } else {
       for (size_t i = input.begin; i < input.end; ++i) {
-        TryRow(step_no, step, rel.row(i));
+        TryRow(step_no, step, rel, i);
       }
     }
   }
 
-  void TryRow(size_t step_no, const PlanStep& step, const Tuple& row) {
+  void TryRow(size_t step_no, const PlanStep& step, const Relation& rel,
+              size_t row) {
     ++stats_->rows_examined;
-    // Verify non-key positions and bind fresh variables.
+    // Verify non-key positions and bind fresh variables; cells are read
+    // straight out of the column chunks (no row is materialized).
     for (size_t c = 0; c < step.positions.size(); ++c) {
       const PlanPos& pos = step.positions[c];
       switch (pos.kind) {
         case PlanPos::Kind::kConst:
-          if (!(step.index_mask & (1u << c)) && row[c] != pos.value) return;
+          if (!(step.index_mask & (1u << c)) &&
+              rel.cell(row, static_cast<int>(c)) != pos.value)
+            return;
           break;
         case PlanPos::Kind::kBound:
-          if (!(step.index_mask & (1u << c)) && row[c] != bindings_[pos.var])
+          if (!(step.index_mask & (1u << c)) &&
+              rel.cell(row, static_cast<int>(c)) != bindings_[pos.var])
             return;
           break;
         case PlanPos::Kind::kFree:
-          bindings_[pos.var] = row[c];
+          bindings_[pos.var] = rel.cell(row, static_cast<int>(c));
           break;
       }
     }
@@ -265,6 +434,7 @@ class JoinRunner {
   const ConstraintEvaluator* constraint_eval_;
   Sink& sink_;
   ExecStats* stats_;
+  JoinScratch* scratch_;
   std::vector<Value>& bindings_;
 };
 
@@ -287,7 +457,7 @@ class JoinExecutor {
     JoinScratch local;
     JoinScratch* s = scratch != nullptr ? scratch : &local;
     JoinRunner<std::remove_reference_t<Sink>> runner(
-        compiled, inputs, constraint_eval, sink, stats, &s->bindings);
+        compiled, inputs, constraint_eval, sink, stats, s);
     runner.Run();
   }
 

@@ -3,32 +3,25 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
-#include <cstring>
 
+#include "obs/histogram.h"
 #include "obs/trace.h"
 
 namespace pdatalog {
 
-ColumnIndex::ColumnIndex(uint32_t mask, int arity,
-                         const std::vector<Tuple>* rows)
-    : mask_(mask), rows_(rows) {
+ColumnIndex::ColumnIndex(uint32_t mask, int arity, const ColumnStore* store)
+    : mask_(mask), store_(store) {
   for (int c = 0; c < arity; ++c) {
     if (mask & (1u << c)) key_columns_.push_back(c);
   }
   assert(std::popcount(mask) == static_cast<int>(key_columns_.size()));
 }
 
-uint64_t ColumnIndex::HashRow(const Tuple& row) const {
-  uint64_t h = 0x12345678u ^ static_cast<uint64_t>(key_columns_.size());
-  for (int c : key_columns_) h = HashCombine(h, row[c]);
-  return h;
-}
-
 bool ColumnIndex::KeyEquals(const Bucket& bucket, const Value* key,
                             int n) const {
-  const Tuple& rep = (*rows_)[pool_[bucket.head_chunk].rows[0]];
+  uint32_t rep = pool_[bucket.head_chunk].rows[0];
   for (int i = 0; i < n; ++i) {
-    if (rep[key_columns_[i]] != key[i]) return false;
+    if (store_->cell(rep, key_columns_[i]) != key[i]) return false;
   }
   return true;
 }
@@ -68,22 +61,30 @@ Tuple ColumnIndex::MakeKey(const Tuple& row) const {
 
 ColumnIndex::Probe ColumnIndex::ProbeRange(const Value* key, int n,
                                            size_t begin, size_t end) const {
+  return ProbeRangeHashed(HashProjection(key, n), key, n, begin, end);
+}
+
+ColumnIndex::Probe ColumnIndex::ProbeRangeHashed(uint64_t hash,
+                                                 const Value* key, int n,
+                                                 size_t begin,
+                                                 size_t end) const {
   assert(n == static_cast<int>(key_columns_.size()));
+  assert(hash == HashProjection(key, n));
   Probe probe;
   probe.index_ = this;
   probe.begin_ = static_cast<uint32_t>(begin);
   probe.end_ = static_cast<uint32_t>(end);
-  uint32_t bucket = FindBucket(HashProjection(key, n), key, n);
+  uint32_t bucket = FindBucket(hash, key, n);
   probe.chunk_ = bucket == kNoBucket ? kNoChunk : buckets_[bucket].head_chunk;
   return probe;
 }
 
-void ColumnIndex::Add(const Tuple& row, uint32_t row_id) {
+void ColumnIndex::Add(uint32_t row_id) {
   Value key[32];
-  for (size_t i = 0; i < key_columns_.size(); ++i) {
-    key[i] = row[key_columns_[i]];
-  }
   int n = static_cast<int>(key_columns_.size());
+  for (int i = 0; i < n; ++i) {
+    key[i] = store_->cell(row_id, key_columns_[i]);
+  }
   uint64_t hash = HashProjection(key, n);
   uint32_t bucket_id = FindBucket(hash, key, n);
   if (bucket_id == kNoBucket) {
@@ -118,58 +119,135 @@ bool Relation::InsertView(const Value* values, int n) {
     while (true) {
       const DedupSlot& slot = dedup_[i];
       if (slot.row == kEmptySlot) break;
-      if (slot.hash == hash &&
-          std::memcmp(rows_[slot.row].data(), values,
-                      static_cast<size_t>(n) * sizeof(Value)) == 0) {
+      if (slot.hash == hash && store_.RowEquals(slot.row, values)) {
         return false;
       }
       i = (i + 1) & dedup_mask_;
     }
   }
-  if ((rows_.size() + 1) * 4 > dedup_.size() * 3) {
-    GrowDedup(rows_.size() + 1);
+  if ((store_.size() + 1) * 4 > dedup_.size() * 3) {
+    GrowDedup(store_.size() + 1);
   }
-  uint32_t id = static_cast<uint32_t>(rows_.size());
-  rows_.emplace_back(values, n);
+  uint32_t id = static_cast<uint32_t>(store_.size());
+  store_.AppendRow(values);
   uint64_t i = hash & dedup_mask_;
   while (dedup_[i].row != kEmptySlot) i = (i + 1) & dedup_mask_;
   dedup_[i] = DedupSlot{hash, id};
   return true;
 }
 
-size_t Relation::InsertBlock(const Value* rows, int arity, uint32_t count) {
+size_t Relation::InsertBlock(const Value* values, int arity, uint32_t count,
+                             bool columnar) {
   assert(arity == arity_);
-  if (count == 0) return 0;
   TraceScope span(trace_, TracePhase::kInsert, count, insert_profile_);
-  // Reserve dedup capacity for the worst case (every row new) so the
-  // ingest loop below never rehashes mid-block.
-  if ((rows_.size() + count) * 4 > dedup_.size() * 3) {
-    GrowDedup(rows_.size() + count);
+  // Record the block's tuple count unconditionally: a block whose rows
+  // all dedup away is still one received frame of `count` tuples.
+  if (insert_tuples_ != nullptr) insert_tuples_->Record(count);
+  if (count == 0) return 0;
+
+  // Pass 1: hash every row. Columnar payloads hash in one tight loop
+  // per column (the layout a decoded TupleBlock frame arrives in).
+  block_hashes_.resize(count);
+  if (columnar) {
+    uint64_t seed = 0x12345678u ^ static_cast<uint64_t>(arity);
+    for (uint32_t r = 0; r < count; ++r) block_hashes_[r] = seed;
+    for (int c = 0; c < arity; ++c) {
+      const Value* col = values + static_cast<size_t>(c) * count;
+      for (uint32_t r = 0; r < count; ++r) {
+        block_hashes_[r] = HashCombine(block_hashes_[r], col[r]);
+      }
+    }
+  } else {
+    const Value* row = values;
+    for (uint32_t r = 0; r < count; ++r, row += arity) {
+      block_hashes_[r] = HashProjection(row, arity);
+    }
   }
-  size_t inserted = 0;
-  const Value* values = rows;
-  for (uint32_t r = 0; r < count; ++r, values += arity) {
-    uint64_t hash = HashProjection(values, arity);
+
+  // Reserve dedup capacity for the worst case (every row new) so the
+  // probe loop below never rehashes mid-block.
+  if ((store_.size() + count) * 4 > dedup_.size() * 3) {
+    GrowDedup(store_.size() + count);
+  }
+
+  // `value_at` reads cell (r, c) of the incoming block in either layout.
+  auto value_at = [&](uint32_t r, int c) -> Value {
+    return columnar ? values[static_cast<size_t>(c) * count + r]
+                    : values[static_cast<size_t>(r) * arity + c];
+  };
+
+  // Pass 2: dedup probe per row, against committed rows and against
+  // earlier survivors of this same block (their ids are assigned but
+  // their values still live in the incoming buffer). With every hash
+  // already known, the probe's dependent random load can be prefetched
+  // a few rows ahead — the single-row InsertView path cannot do this.
+  constexpr uint32_t kLookahead = 8;
+  const size_t base = store_.size();
+  block_keep_.clear();
+  for (uint32_t r = 0; r < count; ++r) {
+    if (r + kLookahead < count) {
+      __builtin_prefetch(&dedup_[block_hashes_[r + kLookahead] & dedup_mask_]);
+    }
+    uint64_t hash = block_hashes_[r];
     uint64_t i = hash & dedup_mask_;
     bool duplicate = false;
     while (true) {
       const DedupSlot& slot = dedup_[i];
       if (slot.row == kEmptySlot) break;
-      if (slot.hash == hash &&
-          std::memcmp(rows_[slot.row].data(), values,
-                      static_cast<size_t>(arity) * sizeof(Value)) == 0) {
-        duplicate = true;
-        break;
+      if (slot.hash == hash) {
+        bool equal = true;
+        if (slot.row < base) {
+          for (int c = 0; c < arity; ++c) {
+            if (store_.cell(slot.row, c) != value_at(r, c)) {
+              equal = false;
+              break;
+            }
+          }
+        } else {
+          uint32_t other = block_keep_[slot.row - base];
+          for (int c = 0; c < arity; ++c) {
+            if (value_at(other, c) != value_at(r, c)) {
+              equal = false;
+              break;
+            }
+          }
+        }
+        if (equal) {
+          duplicate = true;
+          break;
+        }
       }
       i = (i + 1) & dedup_mask_;
     }
     if (duplicate) continue;
-    uint32_t id = static_cast<uint32_t>(rows_.size());
-    rows_.emplace_back(values, arity);
-    dedup_[i] = DedupSlot{hash, id};
-    ++inserted;
+    dedup_[i] =
+        DedupSlot{hash, static_cast<uint32_t>(base + block_keep_.size())};
+    block_keep_.push_back(r);
   }
-  return inserted;
+
+  // Pass 3: append the survivors column by column — one gathered copy
+  // per column (contiguous for a fully-new columnar block).
+  const uint32_t kept = static_cast<uint32_t>(block_keep_.size());
+  if (kept == 0) return 0;
+  store_.EnsureCapacity(base + kept);
+  for (int c = 0; c < arity; ++c) {
+    const Value* src = columnar ? values + static_cast<size_t>(c) * count
+                                : values + c;
+    const size_t stride = columnar ? 1 : static_cast<size_t>(arity);
+    size_t dst = base;
+    uint32_t k = 0;
+    while (k < kept) {
+      size_t run;
+      Value* out = store_.MutableSpan(c, dst, base + kept, &run);
+      for (size_t t = 0; t < run; ++t) {
+        out[t] = src[block_keep_[k + t] * stride];
+      }
+      k += static_cast<uint32_t>(run);
+      dst += run;
+    }
+  }
+  store_.CommitRows(base + kept);
+  return kept;
 }
 
 void Relation::GrowDedup(size_t min_rows) {
@@ -177,9 +255,8 @@ void Relation::GrowDedup(size_t min_rows) {
   while (cap * 3 < min_rows * 4) cap *= 2;
   dedup_.assign(cap, DedupSlot{0, kEmptySlot});
   dedup_mask_ = cap - 1;
-  for (uint32_t id = 0; id < rows_.size(); ++id) {
-    const Tuple& row = rows_[id];
-    uint64_t hash = HashProjection(row.data(), row.arity());
+  for (uint32_t id = 0; id < store_.size(); ++id) {
+    uint64_t hash = store_.HashRow(id);
     uint64_t i = hash & dedup_mask_;
     while (dedup_[i].row != kEmptySlot) i = (i + 1) & dedup_mask_;
     dedup_[i] = DedupSlot{hash, id};
@@ -193,18 +270,31 @@ bool Relation::Contains(const Tuple& tuple) const {
   while (true) {
     const DedupSlot& slot = dedup_[i];
     if (slot.row == kEmptySlot) return false;
-    if (slot.hash == hash && rows_[slot.row] == tuple) return true;
+    if (slot.hash == hash && store_.RowEquals(slot.row, tuple.data())) {
+      return true;
+    }
     i = (i + 1) & dedup_mask_;
   }
 }
 
-const ColumnIndex& Relation::EnsureIndex(uint32_t mask) {
-  auto [it, inserted] = indexes_.try_emplace(mask, mask, arity_, &rows_);
-  ColumnIndex& index = it->second;
-  for (size_t i = index.built_upto(); i < rows_.size(); ++i) {
-    index.Add(rows_[i], static_cast<uint32_t>(i));
+Tuple Relation::row(size_t i) const {
+  if (arity_ <= 32) {
+    Value buf[32];
+    store_.CopyRow(i, buf);
+    return Tuple(buf, arity_);
   }
-  index.set_built_upto(rows_.size());
+  std::vector<Value> buf(arity_);
+  store_.CopyRow(i, buf.data());
+  return Tuple(buf.data(), arity_);
+}
+
+const ColumnIndex& Relation::EnsureIndex(uint32_t mask) {
+  auto [it, inserted] = indexes_.try_emplace(mask, mask, arity_, &store_);
+  ColumnIndex& index = it->second;
+  for (size_t i = index.built_upto(); i < store_.size(); ++i) {
+    index.Add(static_cast<uint32_t>(i));
+  }
+  index.set_built_upto(store_.size());
   return index;
 }
 
@@ -216,7 +306,9 @@ const ColumnIndex* Relation::GetIndex(uint32_t mask) const {
 std::string Relation::ToSortedString(const SymbolTable& symbols) const {
   // Sort by constant names (not interned ids) so dumps compare equal
   // across databases whose symbol tables interned in different orders.
-  std::vector<Tuple> sorted = rows_;
+  std::vector<Tuple> sorted;
+  sorted.reserve(store_.size());
+  for (size_t i = 0; i < store_.size(); ++i) sorted.push_back(row(i));
   std::sort(sorted.begin(), sorted.end(),
             [&symbols](const Tuple& a, const Tuple& b) {
               if (a.arity() != b.arity()) return a.arity() < b.arity();

@@ -1,15 +1,22 @@
-// In-memory relations with set semantics, append-only row storage, and
-// lazily built hash indexes.
+// In-memory relations with set semantics, append-only column-major
+// storage, and lazily built hash indexes.
 //
 // Rows are append-only and deduplicated on insert, which gives the
 // semi-naive evaluator its delta windows for free: the tuples derived in
 // round k occupy the contiguous row range [watermark_{k-1}, watermark_k).
 // Evaluators track watermarks; the relation itself is oblivious to them.
 //
+// Values live in per-column chunked arrays (ColumnStore): column c of
+// rows [0, size) is a chain of fixed-size chunks, so a whole column can
+// be scanned with one pointer per chunk and a received TupleBlock's
+// columnar payload appends with one copy per column — rows are never
+// materialized on the ingest path. Chunks never relocate, so readers of
+// a frozen prefix are safe while the relation grows.
+//
 // Both the dedup set and the column indexes are open-addressing flat
 // hash tables keyed by hashes of raw column values, so neither inserts
 // nor probes ever materialize a key `Tuple`; equality checks read back
-// through the relation's own row storage.
+// through the relation's own column chunks.
 //
 // Thread-safety: a Relation is either worker-local (mutable, no locking
 // needed) or shared read-only across workers (base relations). For the
@@ -18,7 +25,10 @@
 #ifndef PDATALOG_STORAGE_RELATION_H_
 #define PDATALOG_STORAGE_RELATION_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +50,98 @@ inline uint64_t HashProjection(const Value* values, int n) {
   return h;
 }
 
+// Column-major tuple storage: one chain of fixed-size chunks per column.
+// Chunks are allocated once and never move, so a pointer into a column
+// stays valid while the store grows (the frozen-prefix contract the
+// parallel workers rely on).
+class ColumnStore {
+ public:
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkRows = size_t{1} << kChunkShift;  // 4096
+  static constexpr size_t kChunkMask = kChunkRows - 1;
+
+  explicit ColumnStore(int arity) : arity_(arity), columns_(arity) {}
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+
+  int arity() const { return arity_; }
+  size_t size() const { return num_rows_; }
+
+  Value cell(size_t row, int col) const {
+    return columns_[col].chunks[row >> kChunkShift][row & kChunkMask];
+  }
+
+  // Pointer to column `col` at `row`; `*run` receives the number of rows
+  // readable contiguously from there (bounded by the chunk edge and the
+  // store size).
+  const Value* ColumnSpan(int col, size_t row, size_t* run) const {
+    size_t in_chunk = row & kChunkMask;
+    *run = std::min(kChunkRows - in_chunk, num_rows_ - row);
+    return columns_[col].chunks[row >> kChunkShift].get() + in_chunk;
+  }
+
+  void AppendRow(const Value* values) {
+    EnsureCapacity(num_rows_ + 1);
+    size_t chunk = num_rows_ >> kChunkShift;
+    size_t at = num_rows_ & kChunkMask;
+    for (int c = 0; c < arity_; ++c) columns_[c].chunks[chunk][at] = values[c];
+    ++num_rows_;
+  }
+
+  void CopyRow(size_t row, Value* out) const {
+    size_t chunk = row >> kChunkShift;
+    size_t at = row & kChunkMask;
+    for (int c = 0; c < arity_; ++c) out[c] = columns_[c].chunks[chunk][at];
+  }
+
+  bool RowEquals(size_t row, const Value* values) const {
+    size_t chunk = row >> kChunkShift;
+    size_t at = row & kChunkMask;
+    for (int c = 0; c < arity_; ++c) {
+      if (columns_[c].chunks[chunk][at] != values[c]) return false;
+    }
+    return true;
+  }
+
+  // Same hash as HashProjection over the row's values, read per column.
+  uint64_t HashRow(size_t row) const {
+    size_t chunk = row >> kChunkShift;
+    size_t at = row & kChunkMask;
+    uint64_t h = 0x12345678u ^ static_cast<uint64_t>(arity_);
+    for (int c = 0; c < arity_; ++c) {
+      h = HashCombine(h, columns_[c].chunks[chunk][at]);
+    }
+    return h;
+  }
+
+  // Bulk-append support: EnsureCapacity allocates chunks for `rows`
+  // total rows; MutableSpan exposes the write window (capacity, not
+  // size, bounds it); CommitRows publishes the appended rows.
+  void EnsureCapacity(size_t rows) {
+    size_t chunks = (rows + kChunkRows - 1) >> kChunkShift;
+    for (int c = 0; c < arity_; ++c) {
+      while (columns_[c].chunks.size() < chunks) {
+        columns_[c].chunks.push_back(std::make_unique<Value[]>(kChunkRows));
+      }
+    }
+  }
+  Value* MutableSpan(int col, size_t row, size_t limit, size_t* run) {
+    size_t in_chunk = row & kChunkMask;
+    *run = std::min(kChunkRows - in_chunk, limit - row);
+    return columns_[col].chunks[row >> kChunkShift].get() + in_chunk;
+  }
+  void CommitRows(size_t new_size) { num_rows_ = new_size; }
+
+ private:
+  struct Column {
+    std::vector<std::unique_ptr<Value[]>> chunks;
+  };
+
+  int arity_;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
 // Hash index over a subset of columns, identified by a bit mask
 // (bit c set => column c is part of the key).
 //
@@ -50,9 +152,9 @@ inline uint64_t HashProjection(const Value* values, int n) {
 // key is ever allocated, on insert or lookup.
 class ColumnIndex {
  public:
-  // `rows` is the owning relation's row vector (for key equality checks);
-  // it must outlive the index and never relocate (Relation is pinned).
-  ColumnIndex(uint32_t mask, int arity, const std::vector<Tuple>* rows);
+  // `store` is the owning relation's column storage (for key equality
+  // checks); it must outlive the index (Relation is pinned).
+  ColumnIndex(uint32_t mask, int arity, const ColumnStore* store);
 
   uint32_t mask() const { return mask_; }
   // Columns in the mask, ascending; probe keys use this order.
@@ -101,13 +203,25 @@ class ColumnIndex {
   // within built_upto().
   Probe ProbeRange(const Value* key, int n, size_t begin, size_t end) const;
 
+  // Same, with the key hash precomputed by the caller (the batch join
+  // kernel hashes a whole batch of keys in one tight loop, then probes).
+  // `hash` must equal HashProjection(key, n).
+  Probe ProbeRangeHashed(uint64_t hash, const Value* key, int n, size_t begin,
+                         size_t end) const;
+
+  // Prefetches the slot a key hash lands on, so a batch of probes can
+  // overlap its cache misses before any ProbeRangeHashed call.
+  void PrefetchHash(uint64_t hash) const {
+    if (!slots_.empty()) __builtin_prefetch(&slots_[hash & slot_mask_]);
+  }
+
   // Extracts the key projection of `row` (debugging/tests only; the
   // probe path never materializes keys).
   Tuple MakeKey(const Tuple& row) const;
 
   // Appends `row_id` (which must exceed every id already present) under
-  // `row`'s key projection.
-  void Add(const Tuple& row, uint32_t row_id);
+  // its key projection, read from the column store.
+  void Add(uint32_t row_id);
 
   size_t built_upto() const { return built_upto_; }
   void set_built_upto(size_t n) { built_upto_ = n; }
@@ -131,7 +245,6 @@ class ColumnIndex {
     uint32_t tail_chunk;
   };
 
-  uint64_t HashRow(const Tuple& row) const;
   // True iff `key` equals the projection of the bucket's first row.
   bool KeyEquals(const Bucket& bucket, const Value* key, int n) const;
   uint32_t FindBucket(uint64_t hash, const Value* key, int n) const;
@@ -140,7 +253,7 @@ class ColumnIndex {
   uint32_t mask_;
   std::vector<int> key_columns_;  // columns in the mask, ascending
   size_t built_upto_ = 0;         // rows [0, built_upto_) are indexed
-  const std::vector<Tuple>* rows_;
+  const ColumnStore* store_;
   std::vector<uint32_t> slots_;   // bucket id + 1; 0 = empty. 2^k sized
   uint64_t slot_mask_ = 0;
   std::vector<Bucket> buckets_;
@@ -149,15 +262,15 @@ class ColumnIndex {
 
 class Relation {
  public:
-  explicit Relation(int arity) : arity_(arity) {}
+  explicit Relation(int arity) : arity_(arity), store_(arity) {}
   // Not copyable or movable: the dedup table and indexes hold a pointer
-  // to rows_. Databases store relations behind unique_ptr.
+  // to the column store. Databases store relations behind unique_ptr.
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
 
   int arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return store_.size(); }
+  bool empty() const { return store_.size() == 0; }
 
   // Inserts `tuple` if absent. Returns true iff it was new.
   bool Insert(const Tuple& tuple) {
@@ -168,17 +281,25 @@ class Relation {
   // ever constructing a Tuple (the evaluator's firing hot path).
   bool InsertView(const Value* values, int n);
 
-  // Bulk ingest of `count` rows laid out contiguously row-major (a
-  // decoded TupleBlock's buffer): one dedup-capacity reservation up
-  // front, then one probe-and-append loop — the receive path never
-  // materializes a per-tuple Message. Returns the number of rows that
-  // were new.
-  size_t InsertBlock(const Value* rows, int arity, uint32_t count);
+  // Bulk ingest of `count` rows laid out contiguously, row-major by
+  // default or column-major when `columnar` is set (a decoded
+  // TupleBlock frame keeps the wire's columnar layout): hashes every
+  // row in one pass, reserves dedup capacity up front, then appends the
+  // surviving rows with one gathered copy per column — the receive path
+  // never materializes per-tuple objects. Returns the number of rows
+  // that were new.
+  size_t InsertBlock(const Value* values, int arity, uint32_t count,
+                     bool columnar = false);
 
   bool Contains(const Tuple& tuple) const;
 
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  // Materializes row `i` (returned by value; the storage is columnar).
+  // Cold paths only — hot loops should read cells or column spans.
+  Tuple row(size_t i) const;
+  // Single-cell read through the column chunks.
+  Value cell(size_t row, int col) const { return store_.cell(row, col); }
+  // Direct access to the column-major storage (batch kernels).
+  const ColumnStore& store() const { return store_; }
 
   // Returns the index for `mask`, creating it if needed and extending it
   // to cover all current rows. Mutating: not for concurrent use.
@@ -208,6 +329,14 @@ class Relation {
     insert_profile_ = histogram;
   }
 
+  // Companion hook: when set, each bulk ingest records the block's
+  // tuple count — including blocks whose tuples all dedup away, so
+  // tuples-per-frame ratios in the report stay honest. Same threading
+  // contract as set_trace.
+  void set_insert_tuples(Histogram* histogram) {
+    insert_tuples_ = histogram;
+  }
+
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
@@ -216,9 +345,9 @@ class Relation {
   void GrowDedup(size_t min_rows);
 
   int arity_;
-  std::vector<Tuple> rows_;
+  ColumnStore store_;
   // Open-addressing dedup set over row ids (hash + id per slot; equality
-  // reads back through rows_).
+  // reads back through the column store).
   struct DedupSlot {
     uint64_t hash;
     uint32_t row;
@@ -228,6 +357,56 @@ class Relation {
   std::unordered_map<uint32_t, ColumnIndex> indexes_;
   TraceRing* trace_ = nullptr;  // optional bulk-insert span target
   Histogram* insert_profile_ = nullptr;  // optional ingest durations
+  Histogram* insert_tuples_ = nullptr;   // optional ingest tuple counts
+  // InsertBlock scratch, reused across blocks (allocation-free once
+  // warm): per-row hashes and the surviving source-row list.
+  std::vector<uint64_t> block_hashes_;
+  std::vector<uint32_t> block_keep_;
+};
+
+// Batches single-row emissions into InsertBlock calls. A join firing
+// hands its head values to the sink one row at a time; inserting each
+// immediately costs one dependent random load into the dedup table per
+// firing. Buffering kRows rows and flushing through InsertBlock turns
+// that into a tight hash loop plus prefetched probes, at identical
+// final content and insertion order (InsertBlock keeps first
+// occurrences in order). Callers must Flush() before reading the
+// relation's size — the evaluators flush after every Execute call, so
+// every frozen-range observation point sees the same state as the
+// unbuffered path.
+class BatchInserter {
+ public:
+  static constexpr uint32_t kRows = 256;
+
+  explicit BatchInserter(Relation* rel)
+      : rel_(rel), arity_(rel->arity()) {
+    buf_.resize(static_cast<size_t>(kRows) *
+                (arity_ > 0 ? static_cast<size_t>(arity_) : 1));
+  }
+
+  // Buffers one row; returns rows newly inserted by any flush this
+  // push triggered (0 when the row was merely buffered).
+  size_t Push(const Value* values, int n) {
+    assert(n == arity_);
+    Value* dst = buf_.data() + static_cast<size_t>(count_) * arity_;
+    for (int c = 0; c < n; ++c) dst[c] = values[c];
+    if (++count_ == kRows) return Flush();
+    return 0;
+  }
+
+  // Drains the buffer; returns the number of rows that were new.
+  size_t Flush() {
+    if (count_ == 0) return 0;
+    size_t added = rel_->InsertBlock(buf_.data(), arity_, count_);
+    count_ = 0;
+    return added;
+  }
+
+ private:
+  Relation* rel_;
+  int arity_;
+  uint32_t count_ = 0;
+  std::vector<Value> buf_;
 };
 
 }  // namespace pdatalog

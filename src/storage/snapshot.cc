@@ -28,7 +28,9 @@ StatusOr<size_t> SaveDatabase(const Database& db, const SymbolTable& symbols,
     if (!out) {
       return Status::Internal("cannot write '" + path + "'");
     }
-    std::vector<Tuple> rows = rel->rows();
+    std::vector<Tuple> rows;
+    rows.reserve(rel->size());
+    for (size_t r = 0; r < rel->size(); ++r) rows.push_back(rel->row(r));
     std::sort(rows.begin(), rows.end());
     for (const Tuple& t : rows) {
       for (int c = 0; c < t.arity(); ++c) {

@@ -38,6 +38,20 @@ TupleBlock MakeBlock(Symbol predicate, int arity, uint32_t count) {
   return block;
 }
 
+// Layout-blind tuple comparison: decoded blocks keep the wire's
+// columnar layout while send-side blocks are row-major, so equality is
+// checked cell by cell through the layout-aware accessor.
+void ExpectSameTuples(const TupleBlock& got, const TupleBlock& want) {
+  ASSERT_EQ(got.arity, want.arity);
+  ASSERT_EQ(got.count, want.count);
+  for (uint32_t r = 0; r < want.count; ++r) {
+    for (int c = 0; c < want.arity; ++c) {
+      EXPECT_EQ(got.value(r, c), want.value(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Wire format
 // ---------------------------------------------------------------------
@@ -56,11 +70,33 @@ TEST(BlockWireTest, RoundTripAcrossAritiesAndCounts) {
           << status.ToString() << " arity=" << arity << " count=" << count;
       EXPECT_EQ(offset, bytes.size());
       EXPECT_EQ(decoded.predicate, block.predicate);
-      EXPECT_EQ(decoded.arity, block.arity);
-      EXPECT_EQ(decoded.count, block.count);
-      EXPECT_EQ(decoded.values, block.values);
+      EXPECT_TRUE(decoded.columnar) << "decode must keep the wire layout";
+      ExpectSameTuples(decoded, block);
     }
   }
+}
+
+TEST(BlockWireTest, DecodedBlocksKeepColumnarLayout) {
+  // Decoding must not transpose: the value buffer is the wire body
+  // verbatim — all of column 0, then column 1.
+  TupleBlock block;
+  block.predicate = 9;
+  block.arity = 2;
+  for (Value v : {1u, 2u, 3u}) {
+    Value row[2] = {v, v * 100};
+    block.Append(row, 2);
+  }
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(EncodeBlock(block, &bytes).ok());
+  size_t offset = 0;
+  TupleBlock decoded;
+  ASSERT_TRUE(DecodeBlockInto(bytes, &offset, &decoded).ok());
+  EXPECT_TRUE(decoded.columnar);
+  EXPECT_EQ(decoded.values, (std::vector<Value>{1, 2, 3, 100, 200, 300}));
+  // Re-encoding a columnar block reproduces the identical frame.
+  std::vector<uint8_t> reencoded;
+  ASSERT_TRUE(EncodeBlock(decoded, &reencoded).ok());
+  EXPECT_EQ(reencoded, bytes);
 }
 
 TEST(BlockWireTest, WireLayoutIsColumnar) {
@@ -101,9 +137,9 @@ TEST(BlockWireTest, FramesConcatenate) {
   size_t offset = 0;
   TupleBlock decoded;
   ASSERT_TRUE(DecodeBlockInto(bytes, &offset, &decoded).ok());
-  EXPECT_EQ(decoded.values, a.values);
+  ExpectSameTuples(decoded, a);
   ASSERT_TRUE(DecodeBlockInto(bytes, &offset, &decoded).ok());
-  EXPECT_EQ(decoded.values, b.values);
+  ExpectSameTuples(decoded, b);
   EXPECT_EQ(offset, bytes.size());
 }
 
@@ -232,6 +268,69 @@ TEST(InsertBlockTest, LargeBlockAfterSmallInserts) {
   EXPECT_EQ(rel.size(), block.count + 1);
 }
 
+TEST(InsertBlockTest, ColumnarIngestMatchesRowMajor) {
+  // The worker receive path hands InsertBlock a decoded (columnar)
+  // block; ingesting it must produce the same relation as ingesting
+  // the original row-major block, row ids included.
+  TupleBlock sent = MakeBlock(1, 3, 700);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(EncodeBlock(sent, &bytes).ok());
+  TupleBlock received;
+  size_t offset = 0;
+  ASSERT_TRUE(DecodeBlockInto(bytes, &offset, &received).ok());
+  ASSERT_TRUE(received.columnar);
+
+  Relation from_rows(3), from_cols(3);
+  size_t a = from_rows.InsertBlock(sent.values.data(), sent.arity,
+                                   sent.count, /*columnar=*/false);
+  size_t b = from_cols.InsertBlock(received.values.data(), received.arity,
+                                   received.count, /*columnar=*/true);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(from_rows.size(), from_cols.size());
+  for (size_t r = 0; r < from_rows.size(); ++r) {
+    EXPECT_EQ(from_rows.row(r), from_cols.row(r)) << "row " << r;
+  }
+}
+
+TEST(InsertBlockTest, DuplicatesSplitAcrossTwoReceivedBlocks) {
+  // Exactly-once under retransmission overlap: two received blocks
+  // share a run of tuples (e.g. a conservative resend); the second
+  // ingest must add only the genuinely new suffix.
+  auto columnar = [](const TupleBlock& b) {
+    std::vector<uint8_t> bytes;
+    Status s = EncodeBlock(b, &bytes);
+    EXPECT_TRUE(s.ok());
+    TupleBlock out;
+    size_t offset = 0;
+    s = DecodeBlockInto(bytes, &offset, &out);
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(out.columnar);
+    return out;
+  };
+  TupleBlock first, second;
+  first.predicate = second.predicate = 1;
+  first.arity = second.arity = 2;
+  for (Value i = 0; i < 40; ++i) {
+    Value row[2] = {i, i + 100};
+    first.Append(row, 2);
+  }
+  for (Value i = 25; i < 70; ++i) {  // rows 25..39 overlap the first
+    Value row[2] = {i, i + 100};
+    second.Append(row, 2);
+  }
+  TupleBlock c1 = columnar(first), c2 = columnar(second);
+  Relation rel(2);
+  EXPECT_EQ(rel.InsertBlock(c1.values.data(), 2, c1.count, true), 40u);
+  EXPECT_EQ(rel.InsertBlock(c2.values.data(), 2, c2.count, true), 30u);
+  EXPECT_EQ(rel.size(), 70u);
+  for (Value i = 0; i < 70; ++i) {
+    EXPECT_TRUE(rel.Contains(Tuple{i, i + 100})) << "tuple " << i;
+  }
+  // A full duplicate resend of either block is a no-op.
+  EXPECT_EQ(rel.InsertBlock(c2.values.data(), 2, c2.count, true), 0u);
+  EXPECT_EQ(rel.size(), 70u);
+}
+
 // ---------------------------------------------------------------------
 // Per-block channel semantics under faults
 // ---------------------------------------------------------------------
@@ -314,7 +413,7 @@ TEST(BlockChannelTest, CorruptedSerializedBlockDiscardedThenRecovered) {
   size_t offset = 0;
   TupleBlock decoded;
   ASSERT_TRUE(DecodeBlockInto(frames[0], &offset, &decoded).ok());
-  EXPECT_EQ(decoded.values, block.values);
+  ExpectSameTuples(decoded, block);
 }
 
 // ---------------------------------------------------------------------

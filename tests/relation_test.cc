@@ -59,8 +59,8 @@ TEST(RelationTest, DedupSurvivesRehashAndGrowth) {
 }
 
 TEST(ColumnIndexTest, KeyExtraction) {
-  std::vector<Tuple> rows;
-  ColumnIndex index(/*mask=*/0b101, /*arity=*/3, &rows);
+  ColumnStore store(3);
+  ColumnIndex index(/*mask=*/0b101, /*arity=*/3, &store);
   Tuple key = index.MakeKey(Tuple{7, 8, 9});
   EXPECT_EQ(key, (Tuple{7, 9}));
 }
