@@ -68,19 +68,51 @@ DiscriminatingFunction DiscriminatingFunction::Custom(
   return f;
 }
 
-int DiscriminatingFunction::Evaluate(const Value* values, int n) const {
-  switch (kind) {
+DiscriminatingFunction DiscriminatingFunction::Remapped(
+    const DiscriminatingFunction& base, uint32_t num_buckets,
+    int local_owner) {
+  assert(base.kind == Kind::kUniformHash ||
+         base.kind == Kind::kSymmetricHash);
+  assert(base.num_processors > 0 && num_buckets > 0 &&
+         num_buckets % static_cast<uint32_t>(base.num_processors) == 0);
+  DiscriminatingFunction fn;
+  fn.kind = Kind::kRemapped;
+  fn.base_kind = base.kind;
+  fn.num_processors = base.num_processors;
+  fn.seed = base.seed;
+  fn.num_buckets = num_buckets;
+  fn.constant = local_owner;
+  return fn;
+}
+
+uint64_t DiscriminatingFunction::RawHash(const Value* values, int n) const {
+  Kind k = kind == Kind::kRemapped ? base_kind : kind;
+  switch (k) {
     case Kind::kUniformHash: {
       uint64_t h = seed;
       for (int i = 0; i < n; ++i) h = HashCombine(h, values[i]);
-      return static_cast<int>(h % static_cast<uint64_t>(num_processors));
+      return h;
     }
     case Kind::kSymmetricHash: {
       // XOR of per-value mixes: invariant under permutation of the
       // sequence, as required by the Theorem 3 construction.
       uint64_t h = 0;
       for (int i = 0; i < n; ++i) h ^= Mix64(values[i] ^ seed);
-      return static_cast<int>(h % static_cast<uint64_t>(num_processors));
+      return h;
+    }
+    default:
+      assert(false && "RawHash is only defined for the hash kinds");
+      return 0;
+  }
+}
+
+int DiscriminatingFunction::Evaluate(const Value* values, int n) const {
+  switch (kind) {
+    case Kind::kUniformHash:
+    case Kind::kSymmetricHash: {
+      if (num_processors <= 0) return 0;  // malformed; keep % defined
+      return static_cast<int>(RawHash(values, n) %
+                              static_cast<uint64_t>(num_processors));
     }
     case Kind::kLinear: {
       assert(n == static_cast<int>(coeffs.size()));
@@ -88,14 +120,19 @@ int DiscriminatingFunction::Evaluate(const Value* values, int n) const {
       for (int i = 0; i < n; ++i) sum += coeffs[i] * G(values[i]);
       if (!remap.empty()) {
         auto it = remap.find(sum);
-        assert(it != remap.end());
-        return it->second;
+        // A raw value outside the remap means the remap was built for a
+        // different coefficient vector (ValidateFunctions rejects such
+        // bundles up front). Map it to processor 0 instead of
+        // dereferencing remap.end() — the old debug assert was
+        // undefined behavior in release builds.
+        return it == remap.end() ? 0 : it->second;
       }
       return sum;
     }
     case Kind::kTableLookup: {
       auto it = table.find(Tuple(values, n));
       if (it != table.end()) return it->second;
+      if (num_processors <= 0) return 0;
       uint64_t h = seed;
       for (int i = 0; i < n; ++i) h = HashCombine(h, values[i]);
       return static_cast<int>(h % static_cast<uint64_t>(num_processors));
@@ -108,6 +145,7 @@ int DiscriminatingFunction::Evaluate(const Value* values, int n) const {
     case Kind::kKeepOrHash: {
       // Deterministic coin from the tuple itself: every processor that
       // sees the same tuple makes the same keep/forward decision.
+      if (num_processors <= 0) return 0;
       uint64_t mix = Mix64(seed);
       for (int i = 0; i < n; ++i) mix = HashCombine(mix, values[i]);
       double coin =
@@ -115,6 +153,19 @@ int DiscriminatingFunction::Evaluate(const Value* values, int n) const {
       if (coin < keep_probability) return constant;
       uint64_t u = Mix64(mix ^ 0xabcdefULL);
       return static_cast<int>(u % static_cast<uint64_t>(num_processors));
+    }
+    case Kind::kRemapped: {
+      if (num_processors <= 0 || num_buckets == 0) return 0;
+      uint32_t bucket = BucketOf(values, n);
+      auto it = bucket_overrides.find(bucket);
+      if (it == bucket_overrides.end()) {
+        // num_buckets is a multiple of num_processors, so this equals
+        // the base hash's RawHash % num_processors: an unmoved bucket
+        // routes exactly where the base function would.
+        return static_cast<int>(bucket %
+                                static_cast<uint32_t>(num_processors));
+      }
+      return it->second == kKeepLocalDest ? constant : it->second;
     }
   }
   return 0;

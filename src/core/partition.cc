@@ -1,5 +1,8 @@
 #include "core/partition.h"
 
+#include <iterator>
+#include <string>
+
 #include "util/hash.h"
 
 namespace pdatalog {
@@ -32,7 +35,18 @@ StatusOr<PartitionResult> PartitionBases(const RewriteBundle& bundle,
     }
     if (rel == nullptr) continue;
 
+    // The gather buffer below is fixed; a discriminating sequence longer
+    // than it would write off the end (the same overflow class PR 1
+    // fixed in routing — routing sizes its scratch from the specs, but
+    // fragmentation runs before any router exists).
     Value vals[32];
+    if (occ.positions.size() > std::size(vals)) {
+      return Status::OutOfRange(
+          "base occurrence discriminating sequence has " +
+          std::to_string(occ.positions.size()) +
+          " positions; fragmentation supports at most " +
+          std::to_string(std::size(vals)));
+    }
     for (size_t row = 0; row < rel->size(); ++row) {
       const Tuple& t = rel->row(row);
       for (size_t k = 0; k < occ.positions.size(); ++k) {

@@ -26,9 +26,11 @@ class TupleRouter {
   TupleRouter() = default;
 
   // Compiles `specs` (one processor's sending rules). `registry` must
-  // outlive the router.
+  // outlive the router. Accepts any ConstraintEvaluator so the skew
+  // rebalancer's per-worker RemapView can stand in for the shared
+  // registry.
   TupleRouter(const std::vector<SendSpec>& specs, int num_processors,
-              const DiscriminatingRegistry* registry);
+              const ConstraintEvaluator* registry);
 
   // Appends the destination processors of `tuple` (predicate `pred`) to
   // `dests` — deduplicated, in first-computed order, matching the
@@ -77,7 +79,7 @@ class TupleRouter {
                std::vector<int>* dests);
 
   int num_processors_ = 0;
-  const DiscriminatingRegistry* registry_ = nullptr;
+  const ConstraintEvaluator* registry_ = nullptr;
   std::unordered_map<Symbol, std::vector<SendRoute>> routes_by_pred_;
   size_t num_routes_ = 0;
 

@@ -7,6 +7,7 @@
 
 #include "core/wire.h"
 #include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace pdatalog {
 
@@ -118,9 +119,11 @@ Status Worker::Setup() {
 
   // Precompile the sending rules: per-predicate routing tables with
   // resolved variable positions and flattened pattern checks, so
-  // SendTuple never re-scans the spec list.
-  router_ = TupleRouter(bundle_->sends[id_], num_processors_,
-                        bundle_->registry.get());
+  // SendTuple never re-scans the spec list. set_rebalance() rebuilds
+  // the router around its per-worker view.
+  constraint_eval_ = bundle_->registry.get();
+  router_ =
+      TupleRouter(bundle_->sends[id_], num_processors_, constraint_eval_);
 
   // Indexes on static sources (fragments and empty locals); shared EDB
   // relations are pre-indexed by the engine before workers start.
@@ -139,6 +142,15 @@ Status Worker::Setup() {
     }
   }
   return Status::Ok();
+}
+
+void Worker::set_rebalance(RebalanceCoordinator* coordinator) {
+  rebalance_ = coordinator;
+  if (coordinator == nullptr) return;
+  remap_view_ = coordinator->MakeView(id_);
+  constraint_eval_ = remap_view_.get();
+  router_ =
+      TupleRouter(bundle_->sends[id_], num_processors_, constraint_eval_);
 }
 
 void Worker::set_trace(TraceRing* ring) {
@@ -189,7 +201,7 @@ Status Worker::Init() {
       inputs[b] = AtomInput{src, 0, src->size()};
     }
     JoinExecutor::Execute(
-        variants.full, inputs, bundle_->registry.get(),
+        variants.full, inputs, constraint_eval_,
         [&](const Value* values, int n) {
           stats_.out_inserted += inserter.Push(values, n);
         },
@@ -342,7 +354,7 @@ void Worker::ProcessRound() {
         }
         if (empty_delta) continue;
         JoinExecutor::Execute(
-            delta_rule, inputs, bundle_->registry.get(),
+            delta_rule, inputs, constraint_eval_,
             [&](const Value* values, int n) {
               stats_.out_inserted += inserter.Push(values, n);
             },
@@ -476,6 +488,10 @@ void Worker::SendNewRows(Symbol pred, const Relation& out, size_t begin,
 
 StatusOr<bool> Worker::Step() {
   if (!send_status_.ok()) return send_status_;
+  // Pull the rebalancer's override epochs forward before routing
+  // anything this round: acceptance widens on publish, routing switches
+  // only once every worker has acknowledged (see core/rebalance.h).
+  if (rebalance_ != nullptr) rebalance_->Sync(id_, remap_view_.get());
   StatusOr<size_t> got = DrainChannels();
   if (!got.ok()) return got.status();
   bool has_delta = false;
@@ -486,7 +502,15 @@ StatusOr<bool> Worker::Step() {
     }
   }
   if (*got == 0 && !has_delta) return false;
-  ProcessRound();
+  if (rebalance_ != nullptr) {
+    Stopwatch round_watch;
+    ProcessRound();
+    rebalance_->ReportWindow(
+        id_, static_cast<uint64_t>(round_watch.ElapsedSeconds() * 1e9),
+        remap_view_.get());
+  } else {
+    ProcessRound();
+  }
   if (!send_status_.ok()) return send_status_;
   return true;
 }
@@ -565,6 +589,10 @@ Status Worker::RunLoop() {
     TraceScope idle(trace_, TracePhase::kIdle, 0,
                     trace_ != nullptr ? &profile_.idle_ns : nullptr);
     while (true) {
+      // An idle worker must keep acknowledging rebalance epochs: a
+      // publish cannot commit until every worker — including ones with
+      // no pending work — has widened its acceptance set.
+      if (rebalance_ != nullptr) rebalance_->Sync(id_, remap_view_.get());
       if (detector_->TryDetect()) return detector_->run_status();
       bool pending = false;
       for (int j = 0; j < num_processors_; ++j) {

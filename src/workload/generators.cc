@@ -1,5 +1,7 @@
 #include "workload/generators.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_set>
 #include <vector>
 
@@ -88,6 +90,36 @@ size_t GenGrid(SymbolTable* symbols, Database* db,
       if (x + 1 < width) added += InsertEdge(&rel, id(x, y), id(x + 1, y));
       if (y + 1 < height) added += InsertEdge(&rel, id(x, y), id(x, y + 1));
     }
+  }
+  return added;
+}
+
+size_t GenZipfGraph(SymbolTable* symbols, Database* db,
+                    const std::string& predicate, int num_nodes,
+                    int num_edges, double exponent, uint64_t seed) {
+  Relation& rel = db->GetOrCreate(symbols->Intern(predicate), 2);
+  SplitMix64 rng(seed);
+  // Cumulative Zipf weights over target ranks: node k has weight
+  // 1 / (k+1)^exponent, so n0 is the hottest target.
+  std::vector<double> cdf(static_cast<size_t>(num_nodes));
+  double total = 0.0;
+  for (int k = 0; k < num_nodes; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf[static_cast<size_t>(k)] = total;
+  }
+  size_t added = 0;
+  int attempts = 0;
+  while (added < static_cast<size_t>(num_edges) &&
+         attempts < num_edges * 20) {
+    ++attempts;
+    int a = static_cast<int>(rng.NextBelow(num_nodes));
+    double u = static_cast<double>(rng.Next() >> 11) *
+               (1.0 / 9007199254740992.0) * total;
+    int b = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (b >= num_nodes) b = num_nodes - 1;
+    if (a == b) continue;
+    added += InsertEdge(&rel, Node(symbols, a), Node(symbols, b));
   }
   return added;
 }

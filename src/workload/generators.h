@@ -39,6 +39,17 @@ size_t GenCycle(SymbolTable* symbols, Database* db,
 size_t GenGrid(SymbolTable* symbols, Database* db,
                const std::string& predicate, int width, int height);
 
+// Zipf-skewed digraph: `num_edges` distinct edges whose sources are
+// uniform over the `num_nodes` vertices but whose targets follow a
+// Zipf(exponent) rank distribution — node n0 is the hottest, n1 next,
+// and so on. High in-degree concentrates recursive join work on the
+// hash bucket of the hot join keys, making this the canonical skewed
+// input for the rebalancer (larger exponent = sharper skew; ~1.0 is
+// classic Zipf). Deterministic in `seed`.
+size_t GenZipfGraph(SymbolTable* symbols, Database* db,
+                    const std::string& predicate, int num_nodes,
+                    int num_edges, double exponent, uint64_t seed);
+
 // "flat" relation: arity-2 tuples (x, f(x)) pairing each of n children
 // with one of `num_parents` parents at random. With GenFlat twice one
 // gets classic same-generation inputs.
