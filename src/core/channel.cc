@@ -2,15 +2,145 @@
 
 #include <cassert>
 
+#include "core/transport.h"
 #include "core/wire.h"
 #include "obs/trace.h"
 
 namespace pdatalog {
 
+Channel::Channel() : transport_(MakeTransport(TransportKind::kMutex)) {}
+Channel::~Channel() = default;
+
+void Channel::set_transport(std::unique_ptr<Transport> transport) {
+  assert(transport != nullptr);
+  assert(!transport_->HasPending());
+  transport_ = std::move(transport);
+}
+
+// --- send / drain ---
+//
+// Fast path (no faults, no retransmit): accounting via single increments
+// on the atomic counters, flow instant, then hand the frame to the
+// transport. The counter bump happens before the frame is published, so
+// a receiver that observed the frame also observes counters covering it
+// (the Mattern detector's CountSend in the worker has the same
+// ordering). Slow path: everything under mutex_, transport unused.
+
+void Channel::Send(Message message) {
+  total_bytes_.fetch_add(message.WireBytes(), std::memory_order_relaxed);
+  total_sent_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t frame = total_frames_.fetch_add(1, std::memory_order_relaxed);
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnqueueBlockLocked(BlockOfOne(std::move(message)));
+    return;
+  }
+  NoteFlowSend(frame);
+  transport_->SendBlock(BlockOfOne(std::move(message)));
+}
+
+void Channel::SendBatch(std::vector<Message>* batch) {
+  if (batch->empty()) return;
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Message& m : *batch) {
+      total_bytes_.fetch_add(m.WireBytes(), std::memory_order_relaxed);
+      total_sent_.fetch_add(1, std::memory_order_relaxed);
+      total_frames_.fetch_add(1, std::memory_order_relaxed);
+      EnqueueBlockLocked(BlockOfOne(std::move(m)));
+    }
+    batch->clear();
+    return;
+  }
+  // One block frame per message, published as a batch (one index store
+  // on the ring backend).
+  std::vector<TupleBlock> blocks;
+  blocks.reserve(batch->size());
+  for (Message& m : *batch) {
+    total_bytes_.fetch_add(m.WireBytes(), std::memory_order_relaxed);
+    total_sent_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t frame = total_frames_.fetch_add(1, std::memory_order_relaxed);
+    NoteFlowSend(frame);
+    blocks.push_back(BlockOfOne(std::move(m)));
+  }
+  batch->clear();
+  transport_->SendBlocks(blocks.data(), blocks.size());
+}
+
+void Channel::SendBlock(TupleBlock block) {
+  total_bytes_.fetch_add(block.WireBytes(), std::memory_order_relaxed);
+  total_sent_.fetch_add(block.count, std::memory_order_relaxed);
+  uint64_t frame = total_frames_.fetch_add(1, std::memory_order_relaxed);
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnqueueBlockLocked(std::move(block));
+    return;
+  }
+  NoteFlowSend(frame);
+  transport_->SendBlock(std::move(block));
+}
+
+size_t Channel::DrainBlocks(std::vector<TupleBlock>* out) {
+  size_t start = out->size();
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DrainBlocksLocked(out);
+  } else {
+    size_t frames = transport_->DrainBlocks(out);
+    NoteFlowRecv(frames);
+  }
+  size_t tuples = 0;
+  for (size_t i = start; i < out->size(); ++i) tuples += (*out)[i].count;
+  return tuples;
+}
+
+size_t Channel::Drain(std::vector<Message>* out) {
+  std::vector<TupleBlock> blocks;
+  size_t tuples = DrainBlocks(&blocks);
+  out->reserve(out->size() + tuples);
+  for (TupleBlock& b : blocks) {
+    for (uint32_t r = 0; r < b.count; ++r) {
+      out->push_back(Message{b.predicate, Tuple(b.row(r), b.arity)});
+    }
+  }
+  return tuples;
+}
+
+void Channel::SendBytes(std::vector<uint8_t> bytes, uint32_t tuples) {
+  total_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  total_sent_.fetch_add(tuples, std::memory_order_relaxed);
+  uint64_t frame = total_frames_.fetch_add(1, std::memory_order_relaxed);
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SendBytesLocked(std::move(bytes));
+    return;
+  }
+  NoteFlowSend(frame);
+  transport_->SendBytes(std::move(bytes));
+}
+
+size_t Channel::DrainBytes(std::vector<std::vector<uint8_t>>* out) {
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return DrainBytesLocked(out);
+  }
+  size_t frames = transport_->DrainBytes(out);
+  NoteFlowRecv(frames);
+  return frames;
+}
+
+bool Channel::HasPending() const {
+  if (fx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return HasPendingLocked();
+  }
+  return transport_->HasPending();
+}
+
 Channel::Extras& Channel::EnsureExtras() {
   // Configuration happens before the run; nothing may be in flight when
   // the channel switches to the slow path.
-  assert(queue_.empty() && byte_queue_.empty());
+  assert(!transport_->HasPending());
   if (fx_ == nullptr) fx_ = std::make_unique<Extras>();
   return *fx_;
 }
@@ -26,18 +156,16 @@ void Channel::EnableRetransmit() {
   EnsureExtras().reliable = true;
 }
 
-void Channel::NoteFlowSendLocked() {
-  if (send_trace_ == nullptr || fx_ != nullptr) return;
-  // The frame just counted is frame total_frames_ - 1. Past the 22-bit
-  // sequence space, stop emitting rather than wrap (the receiver side
-  // applies the same cutoff, so pairing stays consistent).
-  uint64_t seq = total_frames_ - 1;
-  if (seq > kFlowMaxSeq) return;
-  send_trace_->Instant(TracePhase::kFlowSend, PackFlowArg(flow_to_, seq));
+void Channel::NoteFlowSend(uint64_t frame) {
+  if (send_trace_ == nullptr) return;
+  // Past the 22-bit sequence space, stop emitting rather than wrap (the
+  // receiver side applies the same cutoff, so pairing stays consistent).
+  if (frame > kFlowMaxSeq) return;
+  send_trace_->Instant(TracePhase::kFlowSend, PackFlowArg(flow_to_, frame));
 }
 
-void Channel::NoteFlowRecvLocked(size_t frames) {
-  if (send_trace_ == nullptr || fx_ != nullptr) {
+void Channel::NoteFlowRecv(size_t frames) {
+  if (send_trace_ == nullptr) {
     delivered_frames_ += frames;
     return;
   }
@@ -56,10 +184,6 @@ void Channel::NoteFlowRecvLocked(size_t frames) {
 }
 
 void Channel::EnqueueBlockLocked(TupleBlock block) {
-  if (fx_ == nullptr) {
-    queue_.push_back(std::move(block));
-    return;
-  }
   Extras& fx = *fx_;
   uint64_t seq = fx.next_seq++;
   if (fx.reliable) fx.unacked.emplace_back(seq, block);

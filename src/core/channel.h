@@ -6,23 +6,35 @@
 //
 // The unit of communication is a *block*: a run of same-predicate tuples
 // accumulated by the sender and shipped as one frame — one header, one
-// checksum, one sequence number, one lock acquisition — instead of one
-// frame per tuple. Statistics stay tuple-granular (total_sent counts
-// tuples) so the Mattern termination counters and the channel matrix
-// keep their paper semantics; frames are tracked separately.
+// checksum, one sequence number, one publication — instead of one frame
+// per tuple. Statistics stay tuple-granular (total_sent counts tuples)
+// so the Mattern termination counters and the channel matrix keep their
+// paper semantics; frames are tracked separately.
+//
+// Data movement itself is delegated to a pluggable Transport
+// (core/transport.h): the default is the original mutex-guarded queue,
+// and the engine can install a lock-free bounded SPSC ring per channel
+// instead (--transport=spsc). The Channel keeps everything that must be
+// backend-independent: tuple/byte/frame accounting, flow-trace
+// instants, and the fault-injection / retransmit machinery below.
 //
 // The reliability assumption is exactly that — an assumption — so the
 // channel also supports a deterministic fault-injection mode
 // (core/fault.h) that violates it on purpose, and an optional
 // at-least-once retransmit protocol (per-channel sequence numbers,
 // receiver-side dedup and in-order delivery, sender-side resend of
-// unacknowledged frames) that restores it. Both are opt-in: the default
-// configuration keeps the original lock-append fast path. Faults and
-// sequence numbers apply per block: a dropped block loses all its
-// tuples, one retransmission recovers all of them.
+// unacknowledged frames) that restores it. Both are opt-in, and both
+// run on a mutex-guarded slow path regardless of the installed
+// transport: reordering, delaying, and acknowledging frames are queue
+// surgery that a lock-free ring cannot express, and a channel whose
+// reliability is being deliberately violated has nothing to gain from
+// a lock-free fast path. Faults and sequence numbers apply per block: a
+// dropped block loses all its tuples, one retransmission recovers all
+// of them.
 #ifndef PDATALOG_CORE_CHANNEL_H_
 #define PDATALOG_CORE_CHANNEL_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -38,6 +50,7 @@
 namespace pdatalog {
 
 class TraceRing;  // obs/trace.h; receive-side discard instants
+class Transport;  // core/transport.h; pluggable data movement
 
 // Single source of truth for the fixed wire encodings' layout
 // (core/wire.cc implements the encoders against these constants;
@@ -124,124 +137,66 @@ struct TupleBlock {
   }
 };
 
-// A single directed channel. Senders append under a lock; the receiver
-// drains the entire backlog in one swap. Each channel has exactly one
-// sending worker and one receiving worker; the lock exists because the
-// sender and receiver race, not because senders race each other.
+// A single directed channel. Each channel has exactly one sending
+// worker and one receiving worker in the engine; the installed
+// Transport carries the frames between them (the default mutex backend
+// also tolerates multiple senders, which the stress tests exercise).
+// Accounting counters are atomics incremented on the send side and read
+// from anywhere, so the fast path takes no channel lock at all; mutex_
+// guards only the fault/retransmit slow-path state.
 class Channel {
  public:
+  Channel();   // installs the default mutex transport
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
   // Legacy single-tuple send: wraps the message into a one-tuple block
   // frame. Byte accounting uses the legacy per-message layout so
   // existing per-tuple statistics stay exact.
-  void Send(Message message) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    total_bytes_ += message.WireBytes();
-    ++total_sent_;
-    ++total_frames_;
-    EnqueueBlockLocked(BlockOfOne(std::move(message)));
-    NoteFlowSendLocked();
-  }
+  void Send(Message message);
 
-  // Appends a whole batch under one lock acquisition, one block frame
-  // per message (`batch` keeps its capacity for the next round).
-  void SendBatch(std::vector<Message>* batch) {
-    if (batch->empty()) return;
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (fx_ == nullptr) queue_.reserve(queue_.size() + batch->size());
-    for (Message& m : *batch) {
-      total_bytes_ += m.WireBytes();
-      ++total_sent_;
-      ++total_frames_;
-      EnqueueBlockLocked(BlockOfOne(std::move(m)));
-      NoteFlowSendLocked();
-    }
-    batch->clear();
-  }
+  // Sends a whole batch, one block frame per message; backends with
+  // batch publication make the entire batch visible to the receiver
+  // with a single index store (`batch` keeps its capacity for the next
+  // round).
+  void SendBatch(std::vector<Message>* batch);
 
-  // Enqueues one block as one frame: one lock acquisition, one sequence
+  // Enqueues one block as one frame: one publication, one sequence
   // number, one fault-injection decision for all `block.count` tuples.
-  void SendBlock(TupleBlock block) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    total_bytes_ += block.WireBytes();
-    total_sent_ += block.count;
-    ++total_frames_;
-    EnqueueBlockLocked(std::move(block));
-    NoteFlowSendLocked();
-  }
+  void SendBlock(TupleBlock block);
 
   // Moves all pending (deliverable) blocks into `out` (appending).
   // Returns the number of *tuples* drained — in retransmit mode this
   // counts only newly delivered logical tuples, never duplicates.
-  size_t DrainBlocks(std::vector<TupleBlock>* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    size_t start = out->size();
-    if (fx_ != nullptr) {
-      DrainBlocksLocked(out);
-    } else {
-      size_t frames = queue_.size();
-      out->reserve(out->size() + frames);
-      for (TupleBlock& b : queue_) out->push_back(std::move(b));
-      queue_.clear();
-      NoteFlowRecvLocked(frames);
-    }
-    size_t tuples = 0;
-    for (size_t i = start; i < out->size(); ++i) tuples += (*out)[i].count;
-    return tuples;
-  }
+  size_t DrainBlocks(std::vector<TupleBlock>* out);
 
   // Legacy drain: explodes blocks back into per-tuple messages.
   // Returns the number of tuples drained.
-  size_t Drain(std::vector<Message>* out) {
-    std::vector<TupleBlock> blocks;
-    size_t tuples = DrainBlocks(&blocks);
-    out->reserve(out->size() + tuples);
-    for (TupleBlock& b : blocks) {
-      for (uint32_t r = 0; r < b.count; ++r) {
-        out->push_back(Message{b.predicate, Tuple(b.row(r), b.arity)});
-      }
-    }
-    return tuples;
-  }
+  size_t Drain(std::vector<Message>* out);
 
   // Serialized (message-passing) mode: enqueue one encoded frame
   // carrying `tuples` tuples (a block frame, or a legacy single-message
   // frame with the default).
-  void SendBytes(std::vector<uint8_t> bytes, uint32_t tuples = 1) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    total_bytes_ += bytes.size();
-    total_sent_ += tuples;
-    ++total_frames_;
-    if (fx_ != nullptr) {
-      SendBytesLocked(std::move(bytes));
-      return;
-    }
-    byte_queue_.push_back(std::move(bytes));
-    NoteFlowSendLocked();
-  }
+  void SendBytes(std::vector<uint8_t> bytes, uint32_t tuples = 1);
 
   // Drains all deliverable encoded frames (appending). Returns the
   // number of frames drained. In retransmit mode, frames whose checksum
   // the injector broke are discarded here (and later retransmitted by
   // the sender) instead of being surfaced.
-  size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (fx_ != nullptr) return DrainBytesLocked(out);
-    size_t n = byte_queue_.size();
-    out->reserve(out->size() + n);
-    for (auto& b : byte_queue_) out->push_back(std::move(b));
-    byte_queue_.clear();
-    NoteFlowRecvLocked(n);
-    return n;
-  }
+  size_t DrainBytes(std::vector<std::vector<uint8_t>>* out);
 
   // Whether anything is drainable now or will become drainable without
   // sender action (delayed frames count; out-of-order frames held back
   // by a lost predecessor do not — those need a retransmit).
-  bool HasPending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (fx_ != nullptr) return HasPendingLocked();
-    return !queue_.empty() || !byte_queue_.empty();
-  }
+  bool HasPending() const;
+
+  // --- transport (configure before the run) ---
+
+  // Replaces the data-movement backend. Nothing may be in flight.
+  void set_transport(std::unique_ptr<Transport> transport);
+  Transport* transport() { return transport_.get(); }
 
   // --- fault injection / retransmit (configure before the run) ---
 
@@ -279,7 +234,10 @@ class Channel {
   // be the sending worker's ring and `recv_ring` the receiver's — sends
   // run on the sender's thread and drains on the receiver's, so both
   // keep the single-writer invariant. Flow identity is (from, to,
-  // per-channel frame index); nothing changes on the wire. Only the
+  // per-channel frame index); nothing changes on the wire. The send
+  // instant is recorded before the frame is published and the receive
+  // instant after it is drained, so the transport's happens-before
+  // publication edge keeps send ts < recv ts without any lock. Only the
   // default fast path emits flows: once faults or retransmit are
   // configured, delivery order no longer matches the frame counter
   // (drops, duplicates, reordering), so flows are suppressed there.
@@ -296,21 +254,18 @@ class Channel {
   // Counts logical sends: a dropped tuple still counts, a retransmit
   // does not count again.
   uint64_t total_sent() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return total_sent_;
+    return total_sent_.load(std::memory_order_relaxed);
   }
 
   // Total wire bytes ever sent on this channel.
   uint64_t total_bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return total_bytes_;
+    return total_bytes_.load(std::memory_order_relaxed);
   }
 
   // Total frames ever sent on this channel; total_sent() / total_frames()
   // is the achieved batching factor.
   uint64_t total_frames() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return total_frames_;
+    return total_frames_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -324,7 +279,8 @@ class Channel {
     uint64_t deliver_next = 0;  // receiver: next in-order seq (= ack)
     uint64_t drain_calls = 0;   // receiver: poll clock for delays
 
-    // Seq-stamped in-flight queues (replace queue_/byte_queue_).
+    // Seq-stamped in-flight queues (the slow path bypasses the
+    // transport entirely).
     std::vector<std::pair<uint64_t, TupleBlock>> queue;
     std::vector<std::pair<uint64_t, std::vector<uint8_t>>> byte_queue;
 
@@ -362,14 +318,17 @@ class Channel {
   }
 
   Extras& EnsureExtras();
-  // Flow-instant emitters (no-ops unless set_flow_trace configured the
-  // rings and the channel is on the fault-free fast path). Defined in
-  // channel.cc where TraceRing is complete.
-  void NoteFlowSendLocked();
-  void NoteFlowRecvLocked(size_t frames);
-  // Fast queue append, or the seq-stamping/fault-injecting slow path.
-  // Accounting (total_sent_/total_bytes_/total_frames_) happens in the
-  // public callers, before the block is visible to the receiver.
+  // Flow-instant emitters for the fault-free fast path. `frame` is the
+  // frame's index (the value total_frames_ held before that frame was
+  // counted). NoteFlowSend runs on the sender's thread before the frame
+  // is published; NoteFlowRecv on the receiver's thread after the
+  // drain. delivered_frames_ is receiver-only state; the trace/endpoint
+  // pointers are configured before the run starts.
+  void NoteFlowSend(uint64_t frame);
+  void NoteFlowRecv(size_t frames);
+  // Seq-stamping/fault-injecting slow path (mutex_ held). Accounting
+  // (total_sent_/total_bytes_/total_frames_) happens in the public
+  // callers, before the block is visible to the receiver.
   void EnqueueBlockLocked(TupleBlock block);
   void SendBytesLocked(std::vector<uint8_t> bytes);
   size_t DrainBlocksLocked(std::vector<TupleBlock>* out);
@@ -383,18 +342,17 @@ class Channel {
                           std::vector<std::vector<uint8_t>>* out,
                           size_t* delivered);
 
-  mutable std::mutex mutex_;
-  std::vector<TupleBlock> queue_;
-  std::vector<std::vector<uint8_t>> byte_queue_;  // serialized mode
+  mutable std::mutex mutex_;  // slow-path (Extras) state only
+  std::unique_ptr<Transport> transport_;
   std::unique_ptr<Extras> fx_;
   TraceRing* recv_trace_ = nullptr;  // receiver's ring (drain instants)
   TraceRing* send_trace_ = nullptr;  // sender's ring (flow sends)
   int flow_from_ = -1;               // channel endpoints for flow args
   int flow_to_ = -1;
   uint64_t delivered_frames_ = 0;  // fast-path frames drained so far
-  uint64_t total_sent_ = 0;    // tuples
-  uint64_t total_bytes_ = 0;   // wire bytes
-  uint64_t total_frames_ = 0;  // frames (blocks or encoded frames)
+  std::atomic<uint64_t> total_sent_{0};    // tuples
+  std::atomic<uint64_t> total_bytes_{0};   // wire bytes
+  std::atomic<uint64_t> total_frames_{0};  // frames (blocks or encoded)
 };
 
 // The full P x P channel matrix. channel(i, j) carries data from
@@ -486,6 +444,8 @@ class CommNetwork {
 
  private:
   int num_processors_;
+  // Non-movable elements are fine: the vector is sized once at
+  // construction and never reallocates.
   std::vector<Channel> channels_;
 };
 

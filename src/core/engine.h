@@ -42,6 +42,17 @@ struct ParallelOptions {
   // deliver in order exactly once. Makes the fixpoint exact under drop/
   // duplicate/reorder/corrupt/delay faults.
   bool retransmit = false;
+  // Data-movement backend for the channel fast path (core/transport.h).
+  // kMutex is the reference lock-append queue; kSpsc installs a bounded
+  // lock-free SPSC ring per (sender, receiver) pair. Fault injection
+  // and retransmit always run on the mutex-guarded slow path, so under
+  // --faults the two backends are behaviorally identical by
+  // construction; the ring pays off on the fault-free fast path.
+  TransportKind transport = TransportKind::kMutex;
+  // SPSC ring capacity in frames; 0 auto-scales with the processor
+  // count (P*P channels own two rings each, so capacity shrinks as the
+  // topology grows). Ignored by the mutex backend.
+  int transport_ring_frames = 0;
   // Flush threshold for the block-oriented wire protocol: each worker
   // accumulates outgoing tuples per (destination, predicate) and ships
   // one frame per block — at the end of the round, or mid-round once a

@@ -1,0 +1,130 @@
+// A bounded lock-free single-producer single-consumer ring (Lamport
+// queue). This is the data plane of the SPSC transport backend
+// (core/transport.h): each engine channel has exactly one sending and
+// one receiving worker, so a pair of monotone indices with
+// release/acquire publication replaces the channel mutex entirely.
+//
+// Memory-ordering argument (the whole correctness story):
+//   - `tail_` is written only by the producer, `head_` only by the
+//     consumer; each index is single-writer, so plain read-modify-write
+//     races cannot exist.
+//   - The producer fills slot (tail & mask) and then publishes with a
+//     release store of tail+1. The consumer observes the new tail with
+//     an acquire load, which makes every slot write that preceded the
+//     release visible — a frame can never be observed half-written
+//     (torn) because visibility is all-or-nothing on the index.
+//   - The consumer moves slots out and then publishes the new head with
+//     a release store. The producer refreshes its cached head with an
+//     acquire load before reusing a slot, so it cannot overwrite a slot
+//     the consumer is still reading.
+//   - Indices are monotone uint64 (never wrapped to capacity), so
+//     "full" is tail - head == capacity and ABA is impossible within
+//     any realistic run length.
+//
+// Batch publication: TryPushN fills as many slots as fit and issues a
+// single release store covering all of them, so a whole SendBatch costs
+// one published index update instead of one per frame.
+#ifndef PDATALOG_CORE_SPSC_RING_H_
+#define PDATALOG_CORE_SPSC_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pdatalog {
+
+// Destructive reads: slots hand their contents out via std::move, so T
+// must be cheaply move-constructible (TupleBlock and byte vectors are).
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to the next power of two (minimum 2) so the
+  // slot index is a mask, not a modulo.
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer. Moves from `item` on success; leaves it untouched on a
+  // full ring.
+  bool TryPush(T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer. Moves up to `count` items into the ring and publishes
+  // them with ONE release store. Returns how many were taken (a prefix
+  // of `items`); the rest stay untouched.
+  size_t TryPushN(T* items, size_t count) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t free = slots_.size() - (tail - cached_head_);
+    if (free < count) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - cached_head_);
+    }
+    const size_t take = count < free ? count : free;
+    if (take == 0) return 0;
+    for (size_t k = 0; k < take; ++k) {
+      slots_[(tail + k) & mask_] = std::move(items[k]);
+    }
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  // Consumer. Appends every published item to `out` in FIFO order and
+  // returns the count.
+  size_t PopAll(std::vector<T>* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const size_t n = static_cast<size_t>(tail - head);
+    if (n == 0) return 0;
+    out->reserve(out->size() + n);
+    for (; head != tail; ++head) {
+      out->push_back(std::move(slots_[head & mask_]));
+    }
+    head_.store(head, std::memory_order_release);
+    return n;
+  }
+
+  // Any thread; conservative (a concurrent push may or may not be
+  // visible yet, exactly like the mutex queue's HasPending).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+ private:
+  size_t mask_ = 0;
+  std::vector<T> slots_;
+  // Producer-owned line: tail plus the producer's cached view of head.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer-owned line.
+  alignas(64) std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_SPSC_RING_H_

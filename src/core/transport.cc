@@ -1,0 +1,292 @@
+#include "core/transport.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "core/spsc_ring.h"
+
+namespace pdatalog {
+
+namespace {
+
+// The original lock-append queue, verbatim: senders (plural, in tests)
+// append under the lock, the receiver drains the whole backlog in one
+// swap. Reference implementation and the only backend the fault /
+// retransmit slow path ever rides on.
+class MutexTransport final : public Transport {
+ public:
+  TransportKind kind() const override { return TransportKind::kMutex; }
+
+  void SendBlock(TupleBlock block) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(block));
+  }
+
+  void SendBlocks(TupleBlock* blocks, size_t count) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.reserve(queue_.size() + count);
+    for (size_t k = 0; k < count; ++k) queue_.push_back(std::move(blocks[k]));
+  }
+
+  void SendBytes(std::vector<uint8_t> bytes) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    byte_queue_.push_back(std::move(bytes));
+  }
+
+  size_t DrainBlocks(std::vector<TupleBlock>* out) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = queue_.size();
+    out->reserve(out->size() + n);
+    for (TupleBlock& b : queue_) out->push_back(std::move(b));
+    queue_.clear();
+    return n;
+  }
+
+  size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = byte_queue_.size();
+    out->reserve(out->size() + n);
+    for (auto& b : byte_queue_) out->push_back(std::move(b));
+    byte_queue_.clear();
+    return n;
+  }
+
+  bool HasPending() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !queue_.empty() || !byte_queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TupleBlock> queue_;
+  std::vector<std::vector<uint8_t>> byte_queue_;
+};
+
+// Two bounded SPSC rings (block frames + serialized byte frames) with
+// an unbounded mutex-guarded spillway behind them. The spillway absorbs
+// overflow in non-blocking mode and abort-escapes in blocking mode;
+// the sticky flag keeps FIFO across the diversion (see transport.h).
+class SpscTransport final : public Transport {
+ public:
+  explicit SpscTransport(const TransportOptions& options)
+      : opts_(options),
+        blocks_(options.ring_frames),
+        bytes_(options.ring_frames) {}
+
+  TransportKind kind() const override { return TransportKind::kSpsc; }
+
+  void set_stall_handler(StallHandler handler) override {
+    stall_ = std::move(handler);
+  }
+
+  void SendBlock(TupleBlock block) override {
+    if (spilling_blocks_ && !TryUnstickBlocks()) {
+      SpillBlock(std::move(block));
+      return;
+    }
+    if (blocks_.TryPush(block)) return;
+    if (!opts_.blocking || !WaitForSpace(&blocks_, &block)) {
+      spilling_blocks_ = true;
+      SpillBlock(std::move(block));
+    }
+  }
+
+  void SendBlocks(TupleBlock* items, size_t count) override {
+    if (spilling_blocks_ && !TryUnstickBlocks()) {
+      for (size_t k = 0; k < count; ++k) SpillBlock(std::move(items[k]));
+      return;
+    }
+    size_t done = blocks_.TryPushN(items, count);
+    while (done < count) {
+      // Ring full mid-batch: the published prefix is already visible
+      // (one index store); push the tail through the scalar path, which
+      // blocks or spills per mode.
+      SendBlock(std::move(items[done]));
+      if (spilling_blocks_) {
+        for (size_t k = done + 1; k < count; ++k) {
+          SpillBlock(std::move(items[k]));
+        }
+        return;
+      }
+      ++done;
+    }
+  }
+
+  void SendBytes(std::vector<uint8_t> bytes) override {
+    if (spilling_bytes_ && !TryUnstickBytes()) {
+      SpillBytes(std::move(bytes));
+      return;
+    }
+    if (bytes_.TryPush(bytes)) return;
+    if (!opts_.blocking || !WaitForSpace(&bytes_, &bytes)) {
+      spilling_bytes_ = true;
+      SpillBytes(std::move(bytes));
+    }
+  }
+
+  size_t DrainBlocks(std::vector<TupleBlock>* out) override {
+    // Ring first, then spillway: the sticky send rule guarantees every
+    // spilled frame was sent after every ring-resident one.
+    size_t n = blocks_.PopAll(out);
+    if (spill_count_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(spill_mutex_);
+      n += spill_blocks_.size();
+      for (TupleBlock& b : spill_blocks_) out->push_back(std::move(b));
+      spill_count_.fetch_sub(spill_blocks_.size(),
+                             std::memory_order_release);
+      spill_blocks_.clear();
+    }
+    return n;
+  }
+
+  size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) override {
+    size_t n = bytes_.PopAll(out);
+    if (spill_count_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(spill_mutex_);
+      n += spill_bytes_.size();
+      for (auto& b : spill_bytes_) out->push_back(std::move(b));
+      spill_count_.fetch_sub(spill_bytes_.size(), std::memory_order_release);
+      spill_bytes_.clear();
+    }
+    return n;
+  }
+
+  bool HasPending() const override {
+    return !blocks_.Empty() || !bytes_.Empty() ||
+           spill_count_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  template <typename Ring, typename T>
+  bool WaitForSpace(Ring* ring, T* item) {
+    int spins = 0;
+    int yields = 0;
+    int64_t sleep_us = 1;
+    while (!ring->TryPush(*item)) {
+      if (stall_ != nullptr && !stall_()) return false;  // run aborting
+      if (spins < opts_.spin_polls) {
+        ++spins;
+        CpuRelax();
+      } else if (yields < opts_.yield_polls) {
+        ++yields;
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        if (sleep_us < opts_.max_sleep_us) sleep_us *= 2;
+      }
+    }
+    return true;
+  }
+
+  void SpillBlock(TupleBlock block) {
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    spill_blocks_.push_back(std::move(block));
+    spill_count_.fetch_add(1, std::memory_order_release);
+  }
+
+  void SpillBytes(std::vector<uint8_t> bytes) {
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    spill_bytes_.push_back(std::move(bytes));
+    spill_count_.fetch_add(1, std::memory_order_release);
+  }
+
+  // Sender side. The sticky flag may only clear once the receiver has
+  // emptied the block spillway — checked under the same lock the drain
+  // holds, so "empty here" means "already delivered".
+  bool TryUnstickBlocks() {
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    if (!spill_blocks_.empty()) return false;
+    spilling_blocks_ = false;
+    return true;
+  }
+
+  bool TryUnstickBytes() {
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    if (!spill_bytes_.empty()) return false;
+    spilling_bytes_ = false;
+    return true;
+  }
+
+  TransportOptions opts_;
+  StallHandler stall_;
+  SpscRing<TupleBlock> blocks_;
+  SpscRing<std::vector<uint8_t>> bytes_;
+
+  // Sender-owned sticky flags (one sender per channel).
+  bool spilling_blocks_ = false;
+  bool spilling_bytes_ = false;
+
+  mutable std::mutex spill_mutex_;
+  std::vector<TupleBlock> spill_blocks_;
+  std::vector<std::vector<uint8_t>> spill_bytes_;
+  // Fast "is the spillway empty" probe so drains and HasPending skip
+  // the lock on the common path.
+  std::atomic<uint64_t> spill_count_{0};
+};
+
+}  // namespace
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kMutex:
+      return "mutex";
+    case TransportKind::kSpsc:
+      return "spsc";
+  }
+  return "?";
+}
+
+bool ParseTransportKind(std::string_view name, TransportKind* out) {
+  if (name == "mutex") {
+    *out = TransportKind::kMutex;
+    return true;
+  }
+  if (name == "spsc") {
+    *out = TransportKind::kSpsc;
+    return true;
+  }
+  return false;
+}
+
+size_t DefaultRingFrames(int num_processors) {
+  if (num_processors <= 16) return 1024;
+  if (num_processors <= 64) return 256;
+  return 64;
+}
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind,
+                                         const TransportOptions& options) {
+  switch (kind) {
+    case TransportKind::kMutex:
+      return std::make_unique<MutexTransport>();
+    case TransportKind::kSpsc: {
+      TransportOptions o = options;
+      if (o.ring_frames == 0) o.ring_frames = 1024;
+      return std::make_unique<SpscTransport>(o);
+    }
+  }
+  return nullptr;
+}
+
+void InstallTransports(CommNetwork* network, TransportKind kind,
+                       TransportOptions options) {
+  if (options.ring_frames == 0) {
+    options.ring_frames = DefaultRingFrames(network->num_processors());
+  }
+  for (int i = 0; i < network->num_processors(); ++i) {
+    for (int j = 0; j < network->num_processors(); ++j) {
+      network->channel(i, j).set_transport(MakeTransport(kind, options));
+    }
+  }
+}
+
+IdleWaitPolicy MakeIdleWaitPolicy(TransportKind kind, bool slow_path) {
+  IdleWaitPolicy policy;  // defaults = today's mutex-backend ladder
+  if (kind == TransportKind::kSpsc && !slow_path) {
+    policy.spin_polls = 256;
+  }
+  return policy;
+}
+
+}  // namespace pdatalog

@@ -1,0 +1,149 @@
+// The pluggable data-movement layer behind Channel (Section 3's
+// point-to-point network made a first-class component). A Transport
+// owns the in-flight frame queues of one directed channel and nothing
+// else: accounting, flow instants, fault injection, retransmit, and
+// checksums all stay in Channel, so every backend ships the same bytes
+// with the same statistics.
+//
+// Contract (what Channel relies on, and what the engine guarantees):
+//   - Exactly one sending worker and one receiving worker per channel.
+//     Send* is called only by the sender's thread, Drain* only by the
+//     receiver's; HasPending may be called from any thread.
+//   - FIFO per channel and lossless: a sent frame is drained exactly
+//     once, in send order. Backpressure may block or buffer, never
+//     drop.
+//   - A frame published by Send* happens-before its observation by
+//     Drain* (the mutex backend gets this from lock ordering, the ring
+//     backend from release/acquire index publication), so a trace
+//     instant recorded before the send has an earlier timestamp than
+//     one recorded after the matching drain.
+//
+// Backends:
+//   kMutex — the original lock-append queue; reference implementation
+//     and the substrate the fault/retransmit slow path always uses.
+//   kSpsc — a pair of bounded lock-free rings (core/spsc_ring.h), one
+//     for block frames and one for serialized byte frames. Bounded
+//     means backpressure: in threaded runs a full ring spins briefly,
+//     then repeatedly invokes a stall handler (which drains the
+//     *sender's own* inbound channels — cycles of full rings would
+//     otherwise deadlock — and reports whether the run is still live),
+//     then parks in short sleeps. In the single-threaded round-robin
+//     scheduler blocking can never resolve, so the engine configures
+//     the ring in non-blocking mode and overflow diverts to an
+//     unbounded spillway; a sticky rule (once spilling, keep spilling
+//     until the receiver has fully emptied the spillway) preserves
+//     FIFO across the diversion.
+#ifndef PDATALOG_CORE_TRANSPORT_H_
+#define PDATALOG_CORE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/channel.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pdatalog {
+
+// One spin-wait poll: tells the core we're busy-waiting (pause/yield
+// instruction) without giving up the timeslice.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+enum class TransportKind {
+  kMutex,
+  kSpsc,
+};
+
+const char* TransportKindName(TransportKind kind);
+// Accepts "mutex" or "spsc"; returns false on anything else.
+bool ParseTransportKind(std::string_view name, TransportKind* out);
+
+struct TransportOptions {
+  // Ring capacity in frames (rounded up to a power of two). 0 means
+  // DefaultRingFrames(P). Ignored by the mutex backend.
+  size_t ring_frames = 0;
+  // Blocking backpressure (threaded scheduler). false = overflow
+  // spillway (round-robin scheduler, where blocking cannot resolve).
+  bool blocking = true;
+  // Blocking-mode wait ladder: busy polls, then yields, then bounded
+  // sleeps (microseconds, doubling from 1).
+  int spin_polls = 64;
+  int yield_polls = 16;
+  int64_t max_sleep_us = 256;
+};
+
+// P*P channels own two rings each, so per-ring capacity shrinks as the
+// topology grows to keep the slot memory bounded.
+size_t DefaultRingFrames(int num_processors);
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+
+  // Sender's thread only.
+  virtual void SendBlock(TupleBlock block) = 0;
+  // Batch publication: all `count` blocks become visible to the
+  // receiver together where the backend supports it (the SPSC ring
+  // publishes a whole batch with one index store).
+  virtual void SendBlocks(TupleBlock* blocks, size_t count) = 0;
+  virtual void SendBytes(std::vector<uint8_t> bytes) = 0;
+
+  // Receiver's thread only. Append in FIFO order; return frames moved.
+  virtual size_t DrainBlocks(std::vector<TupleBlock>* out) = 0;
+  virtual size_t DrainBytes(std::vector<std::vector<uint8_t>>* out) = 0;
+
+  // Any thread; conservative snapshot.
+  virtual bool HasPending() const = 0;
+
+  // Invoked repeatedly while a blocking send waits for ring space.
+  // Returns true to keep waiting. The engine installs a handler that
+  // drains the sending worker's inbound channels (breaking backpressure
+  // cycles) and returns false once the run is aborting — the frame is
+  // then diverted to the unbounded spillway instead of being dropped,
+  // so the lossless contract holds even when the receiver has exited.
+  using StallHandler = std::function<bool()>;
+  virtual void set_stall_handler(StallHandler handler) {
+    (void)handler;  // meaningless for non-blocking backends
+  }
+};
+
+std::unique_ptr<Transport> MakeTransport(
+    TransportKind kind, const TransportOptions& options = {});
+
+// Installs a fresh transport of `kind` on every channel of `network`,
+// self-channels included (a worker's route-to-self rides the same
+// backend). ring_frames == 0 resolves to DefaultRingFrames(P).
+void InstallTransports(CommNetwork* network, TransportKind kind,
+                       TransportOptions options = {});
+
+// Worker idle-loop wait parameters, derived from the transport. The
+// SPSC backend earns a short busy-spin phase (the producer publishes
+// with one store, so data usually arrives within a few hundred cycles);
+// the mutex backend — and any run on the fault/retransmit slow path,
+// where --faults delay mode deliberately stretches quiescence — keeps
+// today's yield-then-sleep ladder with no spinning.
+struct IdleWaitPolicy {
+  int spin_polls = 0;        // busy polls before yielding
+  int yield_polls = 16;      // yields before sleeping
+  int64_t max_sleep_us = 256;  // sleep doubles from 1us up to this
+};
+
+IdleWaitPolicy MakeIdleWaitPolicy(TransportKind kind, bool slow_path);
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_CORE_TRANSPORT_H_

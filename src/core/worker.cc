@@ -527,34 +527,52 @@ size_t Worker::RetransmitUnacked() {
   return resent;
 }
 
+void Worker::DrainForStall() {
+  if (in_stall_drain_) return;  // a drain can never block, but be safe
+  in_stall_drain_ = true;
+  StatusOr<size_t> got = DrainChannels();
+  if (!got.ok() && send_status_.ok()) send_status_ = got.status();
+  in_stall_drain_ = false;
+}
+
 namespace {
 
-// Bounded exponential backoff for the idle poll loop: the first few
-// polls only yield (cheap wakeup while traffic is still flowing), then
-// the worker sleeps, doubling from 1us up to a 256us cap so an idle
-// worker stops burning its core while termination latency stays well
-// under a millisecond.
+// Bounded backoff ladder for the idle poll loop, parameterized by the
+// transport's IdleWaitPolicy: an optional busy-spin phase (SPSC rings —
+// the producer publishes with one store, so data usually lands within
+// a few hundred cycles), then yields (cheap wakeup while traffic is
+// still flowing), then sleeps doubling from 1us up to the cap so an
+// idle worker stops burning its core while termination latency stays
+// well under a millisecond.
 class IdleBackoff {
  public:
+  explicit IdleBackoff(const IdleWaitPolicy& policy) : policy_(policy) {}
+
   void Pause() {
-    if (polls_ < kYieldPolls) {
-      ++polls_;
+    if (spins_ < policy_.spin_polls) {
+      ++spins_;
+      CpuRelax();
+      return;
+    }
+    if (yields_ < policy_.yield_polls) {
+      ++yields_;
       std::this_thread::yield();
       return;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
-    sleep_us_ = std::min<int64_t>(sleep_us_ * 2, kMaxSleepUs);
+    sleep_us_ = std::min<int64_t>(sleep_us_ * 2, policy_.max_sleep_us);
   }
 
   void Reset() {
-    polls_ = 0;
+    spins_ = 0;
+    yields_ = 0;
     sleep_us_ = 1;
   }
 
  private:
-  static constexpr int kYieldPolls = 16;
-  static constexpr int64_t kMaxSleepUs = 256;
-  int polls_ = 0;
+  IdleWaitPolicy policy_;
+  int spins_ = 0;
+  int yields_ = 0;
   int64_t sleep_us_ = 1;
 };
 
@@ -568,7 +586,7 @@ Status Worker::RunLoop() {
     detector_->Abort(init);
     return init;
   }
-  IdleBackoff backoff;
+  IdleBackoff backoff(wait_policy_);
   uint64_t idle_polls = 0;
   while (true) {
     // A peer may have aborted (or detection may have completed) while

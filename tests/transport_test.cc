@@ -1,0 +1,355 @@
+// The transport layer (core/transport.h, core/spsc_ring.h): flag
+// parsing, ring capacity rounding and wraparound, the overflow-spillway
+// and stall-handler protocols, engine option validation, and — the
+// load-bearing property — differential fixpoint tests: the SPSC ring
+// backend must produce a bit-identical fixpoint to the mutex reference
+// backend, under both schedulers, with tiny rings that force the
+// backpressure machinery, and under channel faults with retransmission.
+#include "core/transport.h"
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/partition.h"
+#include "core/spsc_ring.h"
+#include "gtest/gtest.h"
+#include "parallel_test_util.h"
+#include "workload/generators.h"
+#include "workload/programs.h"
+
+namespace pdatalog {
+namespace {
+
+using testing_util::AncestorScheme;
+using testing_util::DumpOutput;
+using testing_util::MakeAncestorBundle;
+using testing_util::MakeAncestorSetup;
+using testing_util::ParseOrDie;
+using testing_util::SequentialAncestor;
+using testing_util::ValidateOrDie;
+
+TupleBlock OneTupleBlock(Value v) {
+  TupleBlock block;
+  block.predicate = 1;
+  block.arity = 2;
+  Value vals[2] = {v, v + 1};
+  block.Append(vals, 2);
+  return block;
+}
+
+// ---------------------------------------------------------------------
+// Flag parsing and defaults
+// ---------------------------------------------------------------------
+
+TEST(TransportKindTest, ParsesKnownNamesOnly) {
+  TransportKind kind = TransportKind::kSpsc;
+  EXPECT_TRUE(ParseTransportKind("mutex", &kind));
+  EXPECT_EQ(kind, TransportKind::kMutex);
+  EXPECT_TRUE(ParseTransportKind("spsc", &kind));
+  EXPECT_EQ(kind, TransportKind::kSpsc);
+  EXPECT_FALSE(ParseTransportKind("", &kind));
+  EXPECT_FALSE(ParseTransportKind("ring", &kind));
+  EXPECT_FALSE(ParseTransportKind("MUTEX", &kind));
+  EXPECT_STREQ(TransportKindName(TransportKind::kMutex), "mutex");
+  EXPECT_STREQ(TransportKindName(TransportKind::kSpsc), "spsc");
+}
+
+TEST(TransportKindTest, DefaultRingFramesShrinksWithTopology) {
+  // P*P channels, two rings each: capacity steps down so slot memory
+  // stays bounded as the topology grows.
+  EXPECT_EQ(DefaultRingFrames(1), 1024u);
+  EXPECT_EQ(DefaultRingFrames(16), 1024u);
+  EXPECT_EQ(DefaultRingFrames(17), 256u);
+  EXPECT_EQ(DefaultRingFrames(64), 256u);
+  EXPECT_EQ(DefaultRingFrames(65), 64u);
+}
+
+TEST(IdleWaitPolicyTest, OnlyTheSpscFastPathSpins) {
+  EXPECT_GT(MakeIdleWaitPolicy(TransportKind::kSpsc, false).spin_polls, 0);
+  // The mutex backend, and any slow-path run (faults/retransmit), must
+  // keep the non-spinning ladder — --faults delay mode deliberately
+  // stretches quiescence, and busy-spinning through it wastes a core.
+  EXPECT_EQ(MakeIdleWaitPolicy(TransportKind::kSpsc, true).spin_polls, 0);
+  EXPECT_EQ(MakeIdleWaitPolicy(TransportKind::kMutex, false).spin_polls, 0);
+  EXPECT_EQ(MakeIdleWaitPolicy(TransportKind::kMutex, true).spin_polls, 0);
+}
+
+// ---------------------------------------------------------------------
+// SpscRing unit behavior
+// ---------------------------------------------------------------------
+
+TEST(SpscRingTest, RoundsCapacityUpToPowerOfTwo) {
+  SpscRing<int> ring(5);  // -> 8 slots
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v)) << i;
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ring.TryPush(overflow));
+  EXPECT_EQ(ring.size(), 8u);
+}
+
+TEST(SpscRingTest, SingleThreadedWrapKeepsFifo) {
+  SpscRing<int> ring(4);
+  std::vector<int> out;
+  int next = 0;
+  int expect = 0;
+  // Push/pop in irregular strides so head and tail wrap many times.
+  for (int round = 0; round < 100; ++round) {
+    const int stride = (round % 4) + 1;
+    for (int i = 0; i < stride; ++i) {
+      int v = next++;
+      ASSERT_TRUE(ring.TryPush(v));
+    }
+    out.clear();
+    ring.PopAll(&out);
+    for (int v : out) ASSERT_EQ(v, expect++);
+  }
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(expect, next);
+}
+
+TEST(SpscRingTest, TryPushNTakesPrefixWhenShortOnSpace) {
+  SpscRing<int> ring(4);
+  int a = 1;
+  ASSERT_TRUE(ring.TryPush(a));
+  int batch[4] = {2, 3, 4, 5};
+  // Only 3 slots remain: the batch push must take exactly the prefix.
+  EXPECT_EQ(ring.TryPushN(batch, 4), 3u);
+  std::vector<int> out;
+  EXPECT_EQ(ring.PopAll(&out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------------
+// Overflow spillway (non-blocking mode) and stall handler
+// ---------------------------------------------------------------------
+
+TEST(SpscTransportTest, OverflowSpillwayKeepsFifoPastCapacity) {
+  // Non-blocking mode (round-robin scheduler): pushing far past the
+  // ring's capacity on one thread must divert to the spillway and still
+  // come out lossless and in order.
+  TransportOptions opts;
+  opts.ring_frames = 4;
+  opts.blocking = false;
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSpsc, opts);
+  for (Value v = 0; v < 100; ++v) t->SendBlock(OneTupleBlock(v));
+  EXPECT_TRUE(t->HasPending());
+
+  std::vector<TupleBlock> out;
+  EXPECT_EQ(t->DrainBlocks(&out), 100u);
+  ASSERT_EQ(out.size(), 100u);
+  for (Value v = 0; v < 100; ++v) EXPECT_EQ(out[v].value(0, 0), v);
+  EXPECT_FALSE(t->HasPending());
+
+  // After the spillway is emptied the ring path re-engages; a second
+  // wave must still be FIFO across the spill/unspill boundary.
+  for (Value v = 100; v < 110; ++v) t->SendBlock(OneTupleBlock(v));
+  out.clear();
+  EXPECT_EQ(t->DrainBlocks(&out), 10u);
+  for (Value v = 0; v < 10; ++v) EXPECT_EQ(out[v].value(0, 0), v + 100);
+}
+
+TEST(SpscTransportTest, AbortingStallHandlerDivertsInsteadOfDropping) {
+  // Blocking mode with a stall handler that reports "run is over": the
+  // blocked send must divert to the spillway, not drop the frame and
+  // not deadlock (this is the receiver-already-exited abort path).
+  TransportOptions opts;
+  opts.ring_frames = 4;
+  opts.blocking = true;
+  opts.spin_polls = 2;  // reach the stall handler quickly
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSpsc, opts);
+  int stalls = 0;
+  t->set_stall_handler([&stalls] {
+    ++stalls;
+    return false;  // abort: stop waiting
+  });
+  for (Value v = 0; v < 10; ++v) t->SendBlock(OneTupleBlock(v));
+  EXPECT_GT(stalls, 0);
+
+  std::vector<TupleBlock> out;
+  EXPECT_EQ(t->DrainBlocks(&out), 10u);
+  for (Value v = 0; v < 10; ++v) EXPECT_EQ(out[v].value(0, 0), v);
+}
+
+TEST(SpscTransportTest, BytesPathSpillsAndDrainsInOrder) {
+  TransportOptions opts;
+  opts.ring_frames = 4;
+  opts.blocking = false;
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSpsc, opts);
+  for (int i = 0; i < 50; ++i) {
+    t->SendBytes(std::vector<uint8_t>(4, static_cast<uint8_t>(i)));
+  }
+  std::vector<std::vector<uint8_t>> out;
+  EXPECT_EQ(t->DrainBytes(&out), 50u);
+  ASSERT_EQ(out.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(out[i][0], static_cast<uint8_t>(i));
+  }
+  EXPECT_FALSE(t->HasPending());
+}
+
+// ---------------------------------------------------------------------
+// Engine option validation
+// ---------------------------------------------------------------------
+
+TEST(TransportEngineTest, RejectsBadRingCapacity) {
+  auto setup = MakeAncestorSetup();
+  GenChain(&setup->symbols, &setup->edb, "par", 10);
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 2);
+  for (int bad : {-1, 1, (1 << 20) + 1}) {
+    ParallelOptions options;
+    options.use_threads = false;
+    options.transport = TransportKind::kSpsc;
+    options.transport_ring_frames = bad;
+    StatusOr<ParallelResult> result =
+        RunParallel(bundle, &setup->edb, options);
+    ASSERT_FALSE(result.ok()) << "ring_frames " << bad;
+    EXPECT_NE(result.status().message().find("transport_ring_frames"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Differential fixpoint tests: spsc must be bit-identical to mutex
+// ---------------------------------------------------------------------
+
+class TransportDifferentialTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(RoundRobinAndThreads, TransportDifferentialTest,
+                         ::testing::Values(false, true));
+
+TEST_P(TransportDifferentialTest, AncestorFixpointIdenticalAcrossBackends) {
+  auto setup = MakeAncestorSetup();
+  GenZipfGraph(&setup->symbols, &setup->edb, "par", 120, 360, 1.4, 7);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  for (TransportKind kind : {TransportKind::kMutex, TransportKind::kSpsc}) {
+    ParallelOptions options;
+    options.use_threads = GetParam();
+    options.transport = kind;
+    StatusOr<ParallelResult> result =
+        RunParallel(bundle, &setup->edb, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected)
+        << TransportKindName(kind);
+  }
+}
+
+TEST_P(TransportDifferentialTest, TinyRingForcesBackpressureAndStillAgrees) {
+  // ring_frames=2 guarantees every worker hits a full ring constantly;
+  // threaded runs exercise the blocking wait + stall-drain path,
+  // round-robin runs exercise the overflow spillway.
+  auto setup = MakeAncestorSetup();
+  GenZipfGraph(&setup->symbols, &setup->edb, "par", 100, 300, 1.4, 11);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  ParallelOptions options;
+  options.use_threads = GetParam();
+  options.transport = TransportKind::kSpsc;
+  options.transport_ring_frames = 2;
+  options.block_tuples = 4;  // many small frames -> maximum churn
+  StatusOr<ParallelResult> result = RunParallel(bundle, &setup->edb, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected);
+}
+
+TEST_P(TransportDifferentialTest, AncestorFixpointExactUnderFaults) {
+  // Faults + retransmit always run on the mutex-guarded slow path, so
+  // the spsc backend must be exactly as reliable (and bit-identical)
+  // there too.
+  auto setup = MakeAncestorSetup();
+  GenZipfGraph(&setup->symbols, &setup->edb, "par", 80, 240, 1.4, 13);
+  std::string expected = SequentialAncestor(setup.get(), nullptr);
+
+  RewriteBundle bundle =
+      MakeAncestorBundle(setup.get(), AncestorScheme::kExample3, 4);
+  for (TransportKind kind : {TransportKind::kMutex, TransportKind::kSpsc}) {
+    ParallelOptions options;
+    options.use_threads = GetParam();
+    options.transport = kind;
+    options.serialize_messages = true;
+    options.retransmit = true;
+    options.faults.drop = 0.15;
+    options.faults.duplicate = 0.1;
+    options.faults.reorder = 0.1;
+    options.faults.corrupt = 0.05;
+    StatusOr<ParallelResult> result =
+        RunParallel(bundle, &setup->edb, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(DumpOutput(*result, setup->symbols, setup->anc()), expected)
+        << TransportKindName(kind);
+  }
+}
+
+TEST_P(TransportDifferentialTest, PointsToFixpointIdenticalAcrossBackends) {
+  SymbolTable symbols;
+  StatusOr<NamedProgram> named = FindProgram("points_to");
+  ASSERT_TRUE(named.ok());
+  Program program = ParseOrDie(named->source, &symbols);
+  ProgramInfo info = ValidateOrDie(program);
+
+  auto gen_facts = [&symbols](Database* db) {
+    SplitMix64 rng(21);
+    Relation& new_rel = db->GetOrCreate(symbols.Intern("new"), 2);
+    Relation& assign = db->GetOrCreate(symbols.Intern("assign"), 2);
+    Relation& load = db->GetOrCreate(symbols.Intern("load"), 2);
+    Relation& store = db->GetOrCreate(symbols.Intern("store"), 2);
+    auto var = [&symbols](uint64_t i) {
+      return symbols.Intern("v" + std::to_string(i));
+    };
+    auto obj = [&symbols](uint64_t i) {
+      return symbols.Intern("o" + std::to_string(i));
+    };
+    for (int i = 0; i < 30; ++i) {
+      uint64_t hot = rng.NextBelow(2);
+      new_rel.Insert(
+          Tuple{var(rng.NextBelow(14)), obj(hot ? 0 : rng.NextBelow(6))});
+      assign.Insert(
+          Tuple{var(rng.NextBelow(14)), var(hot ? 0 : rng.NextBelow(14))});
+      load.Insert(Tuple{var(rng.NextBelow(14)), var(rng.NextBelow(14))});
+      store.Insert(Tuple{var(rng.NextBelow(14)), var(rng.NextBelow(14))});
+    }
+  };
+
+  Database seq_db;
+  gen_facts(&seq_db);
+  EvalStats seq;
+  ASSERT_TRUE(SemiNaiveEvaluate(program, info, &seq_db, &seq).ok());
+  std::string expected_pt =
+      seq_db.Find(symbols.Lookup("pt"))->ToSortedString(symbols);
+
+  Symbol o = symbols.Intern("O");
+  std::vector<GeneralRuleSpec> specs(program.rules.size());
+  for (GeneralRuleSpec& spec : specs) {
+    spec.vars = {o};
+    spec.h = DiscriminatingFunction::UniformHash(3);
+  }
+  StatusOr<RewriteBundle> bundle =
+      RewriteGeneral(program, info, 3, specs, /*fragment_bases=*/false);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  for (TransportKind kind : {TransportKind::kMutex, TransportKind::kSpsc}) {
+    Database edb;
+    gen_facts(&edb);
+    ParallelOptions options;
+    options.use_threads = GetParam();
+    options.transport = kind;
+    StatusOr<ParallelResult> result = RunParallel(*bundle, &edb, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(
+        result->output.Find(symbols.Lookup("pt"))->ToSortedString(symbols),
+        expected_pt)
+        << TransportKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace pdatalog
