@@ -18,7 +18,10 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/engine.h"
+#include "server/protocol.h"
 #include "storage/snapshot.h"
+#include "eval/incremental.h"
 #include "eval/naive.h"
 #include "workload/programs.h"
 #include "eval/seminaive.h"
@@ -48,7 +51,8 @@ Status UsageError(const std::string& message) {
       " [--transport=mutex|spsc] [--transport-ring=N]"
       " [--rebalance-skew=R] [--rebalance-buckets=N]"
       " [--trace=FILE] [--metrics=FILE] [--profile[=FILE]]"
-      " [--trace-ring-kb=N]"
+      " [--trace-ring-kb=N] [--incremental]"
+      " [--serve[=PORT]] [--serve-batch=N]"
       " [--program=name] [--print-programs] [--stats] [program.dl]");
 }
 
@@ -386,6 +390,24 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.advise = true;
     } else if (arg == "--interactive") {
       options.interactive = true;
+    } else if (arg == "--incremental") {
+      options.incremental = true;
+    } else if (arg == "--serve") {
+      options.serve = true;
+    } else if (ConsumePrefix(arg, "--serve=", &rest)) {
+      int value = std::atoi(rest.c_str());
+      if (value < 0 || value > 65535 ||
+          rest.find_first_not_of("0123456789") != std::string::npos) {
+        return UsageError("--serve port must be in [0, 65535]");
+      }
+      options.serve = true;
+      options.serve_port = value;
+    } else if (ConsumePrefix(arg, "--serve-batch=", &rest)) {
+      int value = std::atoi(rest.c_str());
+      if (value < 1 || value > (1 << 20)) {
+        return UsageError("serve-batch must be in [1, 1048576]");
+      }
+      options.serve_batch = value;
     } else if (arg == "--list-programs") {
       options.list_programs = true;
     } else if (arg == "--explain") {
@@ -406,6 +428,24 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
     } else {
       return UsageError("multiple program files given");
     }
+  }
+  if (options.incremental) {
+    if (options.mode == CliOptions::Mode::kNaive) {
+      return UsageError("--incremental cannot combine with --mode=naive");
+    }
+    if (options.stratified) {
+      return UsageError("--incremental cannot combine with --stratified");
+    }
+    // Incremental maintenance is a sequential evaluator.
+    options.mode = CliOptions::Mode::kSequential;
+  }
+  if (options.serve && options.interactive) {
+    return UsageError("--serve and --interactive are exclusive");
+  }
+  if (options.serve && !options.fact_files.empty()) {
+    return UsageError(
+        "--serve does not take --facts; put facts in the program or "
+        "stream them as '+fact.' updates");
   }
   if (options.list_programs) return options;
   if (options.program_path.empty() && options.builtin.empty()) {
@@ -506,7 +546,29 @@ StatusOr<std::string> RunCli(const CliOptions& options,
       tracer = std::make_unique<Tracer>(1, RingCapacity(options));
     }
     EvalStats stats;
-    if (options.mode == CliOptions::Mode::kSequential) {
+    if (options.incremental) {
+      // One-shot run through the maintenance engine: seed its (empty)
+      // database with everything loaded into edb, evaluate, and copy
+      // the fixpoint back so the dump/save/query paths below see it.
+      StatusOr<IncrementalEvaluator> eval =
+          IncrementalEvaluator::Create(*program, info);
+      if (!eval.ok()) return eval.status();
+      for (const auto& [pred, rel] : edb.relations()) {
+        if (info.IsDerived(pred)) continue;
+        for (size_t i = 0; i < rel->size(); ++i) {
+          StatusOr<bool> added = eval->AddFact(pred, rel->row(i));
+          if (!added.ok()) return added.status();
+        }
+      }
+      StatusOr<EvalStats> batch = eval->Evaluate();
+      if (!batch.ok()) return batch.status();
+      stats = *batch;
+      for (const auto& [pred, rel] : eval->db().relations()) {
+        Relation& dest = edb.GetOrCreate(pred, rel->arity());
+        for (size_t i = 0; i < rel->size(); ++i) dest.Insert(rel->row(i));
+      }
+      out += "mode: sequential incremental\n";
+    } else if (options.mode == CliOptions::Mode::kSequential) {
       EvalOptions eopts;
       eopts.stratified = options.stratified;
       if (tracer != nullptr) eopts.trace = tracer->ring(0);
@@ -762,6 +824,43 @@ Status RunInteractive(const CliOptions& options, const std::string& source,
   EvalStats stats;
   PDATALOG_RETURN_IF_ERROR(SemiNaiveEvaluate(*program, info, &db, &stats));
   QueryLoop(db, &symbols, in, out);
+  return Status::Ok();
+}
+
+Status RunServe(const CliOptions& options, const std::string& source,
+                std::istream& in, std::ostream& out) {
+  std::string effective_source = source;
+  if (!options.builtin.empty()) {
+    StatusOr<NamedProgram> builtin = FindProgram(options.builtin);
+    if (!builtin.ok()) return builtin.status();
+    effective_source = builtin->source + source;
+  }
+
+  ServerOptions sopts;
+  sopts.max_batch = static_cast<size_t>(options.serve_batch);
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(effective_source, sopts);
+  if (!engine.ok()) return engine.status();
+  ServerEngine* server = engine->get();
+
+  std::shared_ptr<const ServerSnapshot> snapshot = server->snapshot();
+  out << "serving: epoch " << snapshot->epoch << ", "
+      << snapshot->view.relation_count() << " relations, "
+      << snapshot->view.total_rows() << " rows\n";
+
+  std::unique_ptr<SocketServer> socket;
+  if (options.serve_port >= 0) {
+    socket = std::make_unique<SocketServer>(server);
+    PDATALOG_RETURN_IF_ERROR(socket->Start(options.serve_port));
+    out << "listening on 127.0.0.1:" << socket->port() << "\n";
+  }
+  out.flush();
+
+  // The stdio session owns the server's lifetime: EOF or `!quit` here
+  // stops the listener and shuts the engine down.
+  ServeLoop(server, in, out);
+  if (socket != nullptr) socket->Stop();
+  server->Shutdown();
   return Status::Ok();
 }
 

@@ -24,6 +24,17 @@
 //     --interactive             after evaluation, read query atoms from
 //                               stdin (one per line; blank line or EOF
 //                               quits) and print their bindings
+//     --incremental             sequential mode only: evaluate through
+//                               the incremental maintenance engine
+//                               (eval/incremental.h) instead of the
+//                               batch evaluator; same least model
+//     --serve[=PORT]            serving mode: materialize the fixpoint
+//                               once, then answer the line protocol
+//                               (docs/cli.md) on stdin/stdout until EOF
+//                               or `!quit`. With =PORT, additionally
+//                               listen on 127.0.0.1:PORT (0 = ephemeral)
+//     --serve-batch=N           serving mode: max facts absorbed per
+//                               maintenance cycle (default 256)
 //     --save=dir                save all relations (input + derived) as
 //                               TSV files under dir after evaluation
 //     --advise                  profile candidate schemes and print a
@@ -126,6 +137,14 @@ struct CliOptions {
   std::string query;  // single-atom query, e.g. "anc(a, X)"
   std::string save_directory;
   bool interactive = false;
+  // --incremental: run the sequential one-shot through the incremental
+  // maintenance engine (forces Mode::kSequential).
+  bool incremental = false;
+  // --serve[=PORT]: resident serving mode. serve_port -1 = stdio only;
+  // [0, 65535] = also listen on 127.0.0.1 (0 picks an ephemeral port).
+  bool serve = false;
+  int serve_port = -1;
+  int serve_batch = 256;  // --serve-batch
   bool list_programs = false;
   bool print_programs = false;
   bool print_stats = false;
@@ -184,6 +203,13 @@ void QueryLoop(const class Database& db, SymbolTable* symbols,
 // QueryLoop over the result.
 Status RunInteractive(const CliOptions& options, const std::string& source,
                       std::istream& in, std::ostream& out);
+
+// The --serve mode: builds a resident ServerEngine (src/server/) from
+// the program, optionally starts the socket listener, then runs the
+// line protocol over `in`/`out` until EOF or `!quit`. Separated from
+// the tool for testability.
+Status RunServe(const CliOptions& options, const std::string& source,
+                std::istream& in, std::ostream& out);
 
 }  // namespace pdatalog
 

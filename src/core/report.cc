@@ -96,18 +96,24 @@ std::string RenderReport(const ParallelResult& result,
     out += table.ToString();
   }
 
-  if (options.histograms && !result.metrics.histograms().empty()) {
-    out += "percentiles (ns for *_ns, counts otherwise):\n";
-    TextTable table({"metric", "count", "p50", "p95", "p99", "max"});
-    for (const auto& [name, h] : result.metrics.histograms()) {
-      table.AddRow({name, TextTable::Cell(h.count()),
-                    TextTable::Cell(h.Percentile(50), 0),
-                    TextTable::Cell(h.Percentile(95), 0),
-                    TextTable::Cell(h.Percentile(99), 0),
-                    TextTable::Cell(h.max())});
-    }
-    out += table.ToString();
+  if (options.histograms) {
+    out += RenderHistogramTable(result.metrics);
   }
+  return out;
+}
+
+std::string RenderHistogramTable(const MetricsRegistry& metrics) {
+  if (metrics.histograms().empty()) return "";
+  std::string out = "percentiles (ns for *_ns, counts otherwise):\n";
+  TextTable table({"metric", "count", "p50", "p95", "p99", "max"});
+  for (const auto& [name, h] : metrics.histograms()) {
+    table.AddRow({name, TextTable::Cell(h.count()),
+                  TextTable::Cell(h.Percentile(50), 0),
+                  TextTable::Cell(h.Percentile(95), 0),
+                  TextTable::Cell(h.Percentile(99), 0),
+                  TextTable::Cell(h.max())});
+  }
+  out += table.ToString();
   return out;
 }
 

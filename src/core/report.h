@@ -22,6 +22,11 @@ struct ReportOptions {
 std::string RenderReport(const ParallelResult& result,
                          const ReportOptions& options = {});
 
+// Renders the registry's latency/size distributions as the percentile
+// table RenderReport embeds; empty string when none were recorded.
+// Shared with the serving engine's `!stats` report (src/server/).
+std::string RenderHistogramTable(const MetricsRegistry& metrics);
+
 // Renders the BSP replay of the round logs as a text timeline: one row
 // per processor, one column block per superstep, bar length scaled to
 // that superstep's cost share. `width` caps the total character width.

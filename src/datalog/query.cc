@@ -21,9 +21,8 @@ std::string QueryResult::ToString(const SymbolTable& symbols) const {
   return out;
 }
 
-StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
-                                    SymbolTable* symbols,
-                                    const Database& db) {
+StatusOr<ParsedQuery> ParseQuery(std::string_view query_text,
+                                 SymbolTable* symbols) {
   // Reuse the program parser: a query atom with variables parses as the
   // head of a bodyless clause only if ground, so parse `q :- ATOM.`
   // and take the body atom.
@@ -41,39 +40,42 @@ StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
                                    std::string(query_text) +
                                    "': " + parsed.status().message());
   }
-  if (parsed->rules.size() != 1 || parsed->rules[0].body.size() != 1) {
+  if (parsed->rules.size() != 1 || parsed->rules[0].body.size() != 1 ||
+      !parsed->facts.empty() || !parsed->queries.empty()) {
     return Status::InvalidArgument("query must be a single atom");
   }
-  const Atom& atom = parsed->rules[0].body[0];
-
-  QueryResult result;
-  CollectVariables(atom, &result.variables);
-
-  if (atom.arity() > 32) {
+  ParsedQuery query;
+  query.atom = parsed->rules[0].body[0];
+  if (query.atom.arity() > 32) {
     return Status::InvalidArgument("query arity exceeds 32");
   }
-  const Relation* rel = db.Find(atom.predicate);
-  if (rel == nullptr) return result;
-  if (rel->arity() != atom.arity()) {
-    return Status::InvalidArgument(
-        "query arity " + std::to_string(atom.arity()) +
-        " does not match relation arity " + std::to_string(rel->arity()));
-  }
+  CollectVariables(query.atom, &query.variables);
+  return query;
+}
 
-  Relation dedup(static_cast<int>(result.variables.size()));
-  for (size_t row = 0; row < rel->size(); ++row) {
-    const Tuple& t = rel->row(row);
+namespace {
+
+// The scan body, shared by the Database and DatabaseView entry points:
+// `rel` needs arity()/size()/cell(row, col).
+template <typename RelationLike>
+void ScanRelation(const ParsedQuery& query, const RelationLike& rel,
+                  QueryResult* result) {
+  const Atom& atom = query.atom;
+  const size_t num_vars = result->variables.size();
+  Relation dedup(static_cast<int>(num_vars));
+  for (size_t row = 0; row < rel.size(); ++row) {
     bool match = true;
     Value binding[32];
     for (int c = 0; c < atom.arity() && match; ++c) {
       const Term& term = atom.args[c];
+      Value cell = rel.cell(row, c);
       if (term.is_const()) {
-        if (t[c] != term.sym) match = false;
+        if (cell != term.sym) match = false;
         continue;
       }
       // Variable: bind or check consistency with earlier columns.
-      for (size_t v = 0; v < result.variables.size(); ++v) {
-        if (result.variables[v] != term.sym) continue;
+      for (size_t v = 0; v < num_vars; ++v) {
+        if (result->variables[v] != term.sym) continue;
         bool bound_earlier = false;
         for (int c2 = 0; c2 < c; ++c2) {
           if (atom.args[c2].is_var() && atom.args[c2].sym == term.sym) {
@@ -82,18 +84,60 @@ StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
           }
         }
         if (bound_earlier) {
-          if (binding[v] != t[c]) match = false;
+          if (binding[v] != cell) match = false;
         } else {
-          binding[v] = t[c];
+          binding[v] = cell;
         }
         break;
       }
     }
     if (!match) continue;
-    Tuple projected(binding, static_cast<int>(result.variables.size()));
-    if (dedup.Insert(projected)) result.bindings.push_back(projected);
+    Tuple projected(binding, static_cast<int>(num_vars));
+    if (dedup.Insert(projected)) result->bindings.push_back(projected);
   }
+}
+
+template <typename RelationLike>
+StatusOr<QueryResult> MatchAgainst(const ParsedQuery& query,
+                                   const RelationLike* rel) {
+  QueryResult result;
+  result.variables = query.variables;
+  if (rel == nullptr) return result;
+  if (rel->arity() != query.atom.arity()) {
+    return Status::InvalidArgument(
+        "query arity " + std::to_string(query.atom.arity()) +
+        " does not match relation arity " + std::to_string(rel->arity()));
+  }
+  ScanRelation(query, *rel, &result);
   return result;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> MatchQuery(const ParsedQuery& query,
+                                 const Database& db) {
+  return MatchAgainst(query, db.Find(query.atom.predicate));
+}
+
+StatusOr<QueryResult> MatchQuery(const ParsedQuery& query,
+                                 const DatabaseView& view) {
+  return MatchAgainst(query, view.Find(query.atom.predicate));
+}
+
+StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
+                                    SymbolTable* symbols,
+                                    const Database& db) {
+  StatusOr<ParsedQuery> query = ParseQuery(query_text, symbols);
+  if (!query.ok()) return query.status();
+  return MatchQuery(*query, db);
+}
+
+StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
+                                    SymbolTable* symbols,
+                                    const DatabaseView& view) {
+  StatusOr<ParsedQuery> query = ParseQuery(query_text, symbols);
+  if (!query.ok()) return query.status();
+  return MatchQuery(*query, view);
 }
 
 }  // namespace pdatalog

@@ -1,6 +1,11 @@
 // Point/pattern queries against evaluated relations: given an atom such
 // as `anc(alice, X)`, returns the bindings of its variables. This is
-// the "answer to the query" step the paper's final pooling feeds.
+// the "answer to the query" step the paper's final pooling feeds, and
+// the read path of the serving engine (src/server/).
+//
+// Parsing and matching are split so a server can intern symbols under a
+// lock (ParseQuery) and then scan a frozen snapshot lock-free
+// (MatchQuery over a DatabaseView).
 #ifndef PDATALOG_DATALOG_QUERY_H_
 #define PDATALOG_DATALOG_QUERY_H_
 
@@ -8,8 +13,10 @@
 #include <string_view>
 #include <vector>
 
+#include "datalog/ast.h"
 #include "datalog/symbol_table.h"
 #include "storage/database.h"
+#include "storage/snapshot.h"
 #include "util/status.h"
 
 namespace pdatalog {
@@ -30,13 +37,36 @@ struct QueryResult {
   std::string ToString(const SymbolTable& symbols) const;
 };
 
-// Parses `query_text` as a single atom (trailing '.' optional) and
-// matches it against the corresponding relation of `db`. Unknown
-// predicates yield an empty result (not an error), like an empty
-// relation would.
+// A parsed query atom plus its distinct variables in first-occurrence
+// order. Self-contained value: matching needs no symbol table.
+struct ParsedQuery {
+  Atom atom;
+  std::vector<Symbol> variables;
+};
+
+// Parses `query_text` as a single atom (trailing '.' optional),
+// interning constants into `symbols`. Rejects anything that is not one
+// atom of arity <= 32.
+StatusOr<ParsedQuery> ParseQuery(std::string_view query_text,
+                                 SymbolTable* symbols);
+
+// Matches a parsed query against `db` / a frozen `view`. An absent
+// predicate yields an empty result (not an error), like an empty
+// relation would; an arity mismatch is an error. The view overload
+// touches only the frozen rows and is safe to run concurrently with
+// writers of the underlying database.
+StatusOr<QueryResult> MatchQuery(const ParsedQuery& query,
+                                 const Database& db);
+StatusOr<QueryResult> MatchQuery(const ParsedQuery& query,
+                                 const DatabaseView& view);
+
+// Parse + match in one call (the one-shot CLI path).
 StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
                                     SymbolTable* symbols,
                                     const Database& db);
+StatusOr<QueryResult> EvaluateQuery(std::string_view query_text,
+                                    SymbolTable* symbols,
+                                    const DatabaseView& view);
 
 }  // namespace pdatalog
 

@@ -56,9 +56,9 @@ struct ProfileContext {
   const MetricsRegistry* metrics = nullptr;
 };
 
-// Number of span phases (TracePhase kInit..kPool); phase_ns is indexed
-// by the TracePhase value.
-inline constexpr int kNumSpanPhases = 8;
+// Number of span phases (TracePhase kInit..kMaintain); phase_ns is
+// indexed by the TracePhase value.
+inline constexpr int kNumSpanPhases = 11;
 
 // Busy/idle accounting for one worker within one round (or, for
 // ProfileReport::totals, across the whole run). Only top-level spans

@@ -20,6 +20,12 @@ const char* TracePhaseName(TracePhase phase) {
       return "idle";
     case TracePhase::kPool:
       return "pool";
+    case TracePhase::kQuery:
+      return "query";
+    case TracePhase::kApply:
+      return "apply";
+    case TracePhase::kMaintain:
+      return "maintain";
     case TracePhase::kRound:
       return "round";
     case TracePhase::kRetransmit:

@@ -43,6 +43,12 @@ enum class TracePhase : uint16_t {
   kFlush,     // end-of-round flush of the accumulation blocks
   kIdle,      // idle backoff while waiting for peers or termination
   kPool,      // final pooling (engine ring)
+  // Serving-engine span phases (src/server/): the maintenance thread's
+  // ring brackets update absorption and incremental re-evaluation;
+  // query spans are recorded by whichever thread owns the ring.
+  kQuery,     // one point query answered from a snapshot
+  kApply,     // one update batch absorbed into the base relations
+  kMaintain,  // incremental re-evaluation to the new fixpoint
   // Instant phases.
   kRound,         // round boundary; arg = round number
   kRetransmit,    // unacked frames re-sent; arg = frames

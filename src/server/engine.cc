@@ -1,0 +1,324 @@
+#include "server/engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "datalog/parser.h"
+
+namespace pdatalog {
+namespace {
+
+Tuple TupleFromGroundAtom(const Atom& atom) {
+  std::vector<Value> values;
+  values.reserve(atom.args.size());
+  for (const Term& term : atom.args) values.push_back(term.sym);
+  return Tuple(values.data(), static_cast<int>(values.size()));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ServerEngine>> ServerEngine::Create(
+    std::string_view source, const ServerOptions& options) {
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("max_batch must be positive");
+  }
+  std::unique_ptr<ServerEngine> engine(new ServerEngine(options));
+
+  StatusOr<Program> program = ParseProgram(source, &engine->symbols_);
+  if (!program.ok()) return program.status();
+  engine->program_ = std::move(*program);
+  PDATALOG_RETURN_IF_ERROR(Validate(engine->program_, &engine->info_));
+
+  StatusOr<IncrementalEvaluator> eval =
+      IncrementalEvaluator::Create(engine->program_, engine->info_);
+  if (!eval.ok()) return eval.status();
+  engine->eval_.emplace(std::move(*eval));
+
+  // The incremental evaluator starts from an empty database: the
+  // program's own facts are the first "update batch".
+  for (const Atom& fact : engine->program_.facts) {
+    StatusOr<bool> added =
+        engine->eval_->AddFact(fact.predicate, TupleFromGroundAtom(fact));
+    if (!added.ok()) return added.status();
+  }
+  StatusOr<EvalStats> stats = engine->eval_->Evaluate();
+  if (!stats.ok()) return stats.status();
+
+  auto snapshot = std::make_shared<ServerSnapshot>();
+  snapshot->epoch = 1;
+  snapshot->view = DatabaseView::Freeze(engine->eval_->db());
+  engine->snapshot_ = std::move(snapshot);
+  engine->epoch_ = 1;
+
+  if (options.trace) {
+    engine->tracer_ =
+        std::make_unique<Tracer>(1, options.trace_ring_capacity);
+  }
+  engine->maintenance_ = std::thread(&ServerEngine::MaintenanceLoop,
+                                     engine.get());
+  return engine;
+}
+
+ServerEngine::~ServerEngine() { Shutdown(); }
+
+void ServerEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+std::shared_ptr<const ServerSnapshot> ServerEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+uint64_t ServerEngine::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+StatusOr<ParsedQuery> ServerEngine::Parse(std::string_view query_text) {
+  std::lock_guard<std::mutex> lock(symbols_mu_);
+  return ParseQuery(query_text, &symbols_);
+}
+
+StatusOr<QueryResult> ServerEngine::Query(const ParsedQuery& query) {
+  std::shared_ptr<const ServerSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = snapshot_;
+  }
+  const uint64_t begin = TraceRing::NowTicks();
+  StatusOr<QueryResult> result = MatchQuery(query, snapshot->view);
+  const uint64_t end = TraceRing::NowTicks();
+  RecordQuery(begin, end, result.ok(),
+              result.ok() ? result->bindings.size() : 0);
+  return result;
+}
+
+StatusOr<QueryResult> ServerEngine::QueryText(std::string_view query_text) {
+  StatusOr<ParsedQuery> query = Parse(query_text);
+  if (!query.ok()) return query.status();
+  return Query(*query);
+}
+
+std::string ServerEngine::Render(const QueryResult& result) const {
+  std::lock_guard<std::mutex> lock(symbols_mu_);
+  return result.ToString(symbols_);
+}
+
+void ServerEngine::RecordQuery(uint64_t begin_ticks, uint64_t end_ticks,
+                               bool ok, size_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  query_hist_.Record(end_ticks - begin_ticks);
+  metrics_.AddCounter("serve.queries", 1);
+  if (ok) {
+    metrics_.AddCounter("serve.query_rows", rows);
+  } else {
+    metrics_.AddCounter("serve.query_errors", 1);
+  }
+  if (tracer_ != nullptr) {
+    // Reader threads share the engine ring; mu_ serializes the writes,
+    // preserving the ring's single-writer contract.
+    TraceRing* ring = tracer_->engine_ring();
+    ring->Append(TraceEvent{begin_ticks, static_cast<uint32_t>(rows),
+                            TracePhase::kQuery, TraceEventKind::kBegin});
+    ring->Append(TraceEvent{end_ticks, 0, TracePhase::kQuery,
+                            TraceEventKind::kEnd});
+  }
+}
+
+Status ServerEngine::SubmitFactText(std::string_view fact_text) {
+  // Parse as a one-clause program under the symbol lock; constants may
+  // be new, the predicate must not be.
+  std::string clause(fact_text);
+  while (!clause.empty() &&
+         (clause.back() == ' ' || clause.back() == '\t' ||
+          clause.back() == '\n' || clause.back() == '\r')) {
+    clause.pop_back();
+  }
+  if (clause.empty()) return Status::InvalidArgument("empty fact");
+  if (clause.back() != '.') clause.push_back('.');
+
+  Atom atom;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mu_);
+    StatusOr<Program> parsed = ParseProgram(clause, &symbols_);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->facts.size() != 1 || !parsed->rules.empty() ||
+        !parsed->queries.empty()) {
+      return Status::InvalidArgument("update must be a single ground fact");
+    }
+    atom = std::move(parsed->facts[0]);
+  }
+  if (!atom.IsGround()) {
+    return Status::InvalidArgument("update must be ground (no variables)");
+  }
+  return SubmitFact(atom.predicate, TupleFromGroundAtom(atom));
+}
+
+Status ServerEngine::SubmitFact(Symbol predicate, Tuple tuple) {
+  // Validate synchronously: enqueued facts must be infallible by the
+  // time the maintenance thread absorbs them.
+  auto arity_it = info_.arity.find(predicate);
+  if (arity_it == info_.arity.end()) {
+    std::lock_guard<std::mutex> lock(symbols_mu_);
+    return Status::InvalidArgument("unknown predicate '" +
+                                   symbols_.Name(predicate) + "'");
+  }
+  if (info_.IsDerived(predicate)) {
+    std::lock_guard<std::mutex> lock(symbols_mu_);
+    return Status::InvalidArgument("cannot update derived predicate '" +
+                                   symbols_.Name(predicate) + "'");
+  }
+  if (arity_it->second != tuple.arity()) {
+    std::lock_guard<std::mutex> lock(symbols_mu_);
+    return Status::InvalidArgument(
+        "arity mismatch for '" + symbols_.Name(predicate) + "': expected " +
+        std::to_string(arity_it->second) + ", got " +
+        std::to_string(tuple.arity()));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return Status::FailedPrecondition("server is shutting down");
+    queue_.push_back(PendingFact{predicate, std::move(tuple)});
+    ++submitted_;
+    metrics_.AddCounter("serve.updates_submitted", 1);
+  }
+  queue_cv_.notify_one();
+  return Status::Ok();
+}
+
+uint64_t ServerEngine::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = submitted_;
+  // The maintenance loop drains the queue even after Shutdown, and
+  // nothing enqueues after stop_, so applied_ always reaches target.
+  applied_cv_.wait(lock, [&] { return applied_ >= target; });
+  return epoch_;
+}
+
+void ServerEngine::MaintenanceLoop() {
+  TraceRing* ring = tracer_ != nullptr ? tracer_->ring(0) : nullptr;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stop_ set and everything drained
+
+    const size_t n = std::min(queue_.size(), options_.max_batch);
+    std::vector<PendingFact> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+
+    // Absorb and re-evaluate without the lock: readers keep answering
+    // from the published snapshot, whose frozen prefix these appends
+    // never touch.
+    const uint64_t begin = TraceRing::NowTicks();
+    uint64_t inserted = 0;
+    {
+      TraceScope apply(ring, TracePhase::kApply,
+                       static_cast<uint32_t>(n));
+      for (const PendingFact& fact : batch) {
+        StatusOr<bool> added = eval_->AddFact(fact.predicate, fact.tuple);
+        // SubmitFact validated predicate and arity; AddFact can only
+        // report duplicate-vs-new here.
+        if (added.ok() && *added) ++inserted;
+      }
+    }
+    uint64_t derived = 0;
+    bool eval_ok = true;
+    {
+      TraceScope maintain(ring, TracePhase::kMaintain);
+      StatusOr<EvalStats> stats = eval_->Evaluate();
+      if (stats.ok()) {
+        derived = stats->tuples_inserted;
+      } else {
+        eval_ok = false;
+      }
+    }
+    auto snapshot = std::make_shared<ServerSnapshot>();
+    snapshot->view = DatabaseView::Freeze(eval_->db());
+    const uint64_t end = TraceRing::NowTicks();
+
+    lock.lock();
+    snapshot->epoch = ++epoch_;
+    snapshot_ = std::move(snapshot);
+    applied_ += n;
+    update_hist_.Record(end - begin);
+    metrics_.AddCounter("serve.update_batches", 1);
+    metrics_.AddCounter("serve.updates_applied", inserted);
+    metrics_.AddCounter("serve.updates_duplicate", n - inserted);
+    metrics_.AddCounter("serve.derived_inserted", derived);
+    if (!eval_ok) metrics_.AddCounter("serve.maintain_errors", 1);
+    applied_cv_.notify_all();
+  }
+}
+
+StatusOr<size_t> ServerEngine::SaveSnapshot(const std::string& directory) {
+  std::shared_ptr<const ServerSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = snapshot_;
+  }
+  // Rendering constant names reads the symbol table.
+  std::lock_guard<std::mutex> lock(symbols_mu_);
+  return SaveDatabase(snapshot->view, symbols_, directory);
+}
+
+MetricsRegistry ServerEngine::MetricsCopy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry copy = metrics_;
+  copy.MergeHistogram("hist.query_ns", query_hist_);
+  copy.MergeHistogram("hist.update_batch_ns", update_hist_);
+  copy.SetGauge("serve.epoch", static_cast<double>(epoch_));
+  copy.SetGauge("serve.pending",
+                static_cast<double>(submitted_ - applied_));
+  if (snapshot_ != nullptr) {
+    copy.SetGauge("serve.snapshot_rows",
+                  static_cast<double>(snapshot_->view.total_rows()));
+  }
+  return copy;
+}
+
+std::string ServerEngine::StatsReport() const {
+  std::shared_ptr<const ServerSnapshot> snapshot;
+  uint64_t pending = 0;
+  MetricsRegistry metrics;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = snapshot_;
+    pending = submitted_ - applied_;
+    metrics = metrics_;
+    metrics.MergeHistogram("hist.query_ns", query_hist_);
+    metrics.MergeHistogram("hist.update_batch_ns", update_hist_);
+  }
+  std::string out =
+      "epoch " + std::to_string(snapshot->epoch) + ": " +
+      std::to_string(snapshot->view.relation_count()) + " relations, " +
+      std::to_string(snapshot->view.total_rows()) + " rows\n";
+  out += "queries " + std::to_string(metrics.counter("serve.queries")) +
+         " (" + std::to_string(metrics.counter("serve.query_rows")) +
+         " rows returned), updates " +
+         std::to_string(metrics.counter("serve.updates_applied")) +
+         " applied in " +
+         std::to_string(metrics.counter("serve.update_batches")) +
+         " batches (" +
+         std::to_string(metrics.counter("serve.updates_duplicate")) +
+         " duplicates, " + std::to_string(pending) + " pending), " +
+         std::to_string(metrics.counter("serve.derived_inserted")) +
+         " tuples derived\n";
+  out += RenderHistogramTable(metrics);
+  return out;
+}
+
+}  // namespace pdatalog

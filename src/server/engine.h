@@ -1,0 +1,191 @@
+// The resident serving engine: load a program once, materialize its
+// fixpoint, then serve interleaved point queries and streaming base-fact
+// updates until shutdown.
+//
+// Threading model (docs/architecture.md, "Serving mode"):
+//
+//   * One *maintenance thread*, owned by the engine, is the only writer
+//     of the database. It drains the update queue in batches, absorbs
+//     the facts through the incremental evaluator (eval/incremental.h),
+//     resumes the fixpoint, and publishes a fresh snapshot.
+//
+//   * Any number of *reader threads* call Query()/QueryText(). A query
+//     pins the current `ServerSnapshot` (a shared_ptr swap under the
+//     engine mutex — the only lock it takes) and then scans the frozen
+//     DatabaseView wait-free: chunks never relocate and rows below the
+//     freeze point never mutate, so readers race with nothing. The
+//     mutex release/acquire on publication orders the maintenance
+//     thread's row writes before any reader's loads.
+//
+//   * The symbol table is not thread-safe; every operation that interns
+//     or renders names (parsing queries and facts, rendering results,
+//     saving snapshots) serializes on `symbols_mu_`. The fixpoint
+//     itself never interns, so maintenance and scans stay off that
+//     lock.
+//
+// Updates are asynchronous: SubmitFact* enqueues and returns. Flush()
+// blocks until everything submitted so far is reflected in the
+// published snapshot — the read-your-writes barrier the tests and the
+// `!flush` protocol verb use.
+#ifndef PDATALOG_SERVER_ENGINE_H_
+#define PDATALOG_SERVER_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "datalog/ast.h"
+#include "datalog/query.h"
+#include "datalog/symbol_table.h"
+#include "datalog/validate.h"
+#include "eval/incremental.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/snapshot.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct ServerOptions {
+  // Maximum facts absorbed per maintenance cycle. Larger batches
+  // amortize the fixpoint resume; smaller ones bound staleness.
+  size_t max_batch = 256;
+  // Record kApply/kMaintain spans on the maintenance ring and kQuery
+  // spans on the engine ring.
+  bool trace = false;
+  size_t trace_ring_capacity = kDefaultTraceRingCapacity;
+};
+
+// What readers pin: an epoch-stamped frozen view of the fixpoint.
+// Epoch 1 is the initial materialization; every published update batch
+// increments it. Immutable after publication.
+struct ServerSnapshot {
+  uint64_t epoch = 0;
+  DatabaseView view;
+};
+
+class ServerEngine {
+ public:
+  // Parses and validates `source`, materializes the initial fixpoint
+  // (program facts included), publishes snapshot epoch 1, and starts
+  // the maintenance thread. The engine is heap-allocated and pinned:
+  // the program and evaluator hold pointers into it.
+  static StatusOr<std::unique_ptr<ServerEngine>> Create(
+      std::string_view source, const ServerOptions& options = {});
+
+  ~ServerEngine();
+  ServerEngine(const ServerEngine&) = delete;
+  ServerEngine& operator=(const ServerEngine&) = delete;
+
+  // --- Read path (any thread) --------------------------------------
+
+  // The snapshot readers currently see.
+  std::shared_ptr<const ServerSnapshot> snapshot() const;
+
+  // Interns and parses a query atom (serializes on the symbol lock).
+  StatusOr<ParsedQuery> Parse(std::string_view query_text);
+
+  // Answers `query` against the current snapshot. Wait-free after the
+  // two mutex-protected pointer/metric touches; never blocks on the
+  // maintenance thread's evaluation.
+  StatusOr<QueryResult> Query(const ParsedQuery& query);
+
+  // Parse + Query.
+  StatusOr<QueryResult> QueryText(std::string_view query_text);
+
+  // Renders a result's bindings ("X = alice, Y = bob" lines) under the
+  // symbol lock.
+  std::string Render(const QueryResult& result) const;
+
+  // --- Write path (any thread; absorbed asynchronously) -------------
+
+  // Validates and enqueues one base fact. `fact_text` is a ground atom
+  // such as "par(alice, bob)." (trailing '.' optional). Errors —
+  // unknown or derived predicate, arity mismatch, non-ground atom —
+  // are reported here, synchronously; enqueued facts cannot fail.
+  Status SubmitFactText(std::string_view fact_text);
+  Status SubmitFact(Symbol predicate, Tuple tuple);
+
+  // Blocks until every fact submitted before the call is reflected in
+  // the published snapshot; returns that snapshot's epoch.
+  uint64_t Flush();
+
+  // --- Introspection -------------------------------------------------
+
+  uint64_t epoch() const;
+
+  // Saves the *current snapshot* (not the moving fixpoint) to
+  // `directory` via storage/snapshot. Returns relations written.
+  StatusOr<size_t> SaveSnapshot(const std::string& directory);
+
+  // Human-readable `!stats` report: epoch, row counts, serve counters,
+  // and the latency percentile table (core/report).
+  std::string StatsReport() const;
+
+  // Point-in-time copy of the serve metrics, histograms included
+  // (hist.query_ns, hist.update_batch_ns).
+  MetricsRegistry MetricsCopy() const;
+
+  const ProgramInfo& info() const { return info_; }
+  const Program& program() const { return program_; }
+
+  // Null unless ServerOptions::trace. Ring 0 belongs to the maintenance
+  // thread; the engine ring carries query spans.
+  Tracer* tracer() { return tracer_.get(); }
+
+  // Stops the maintenance thread after it drains the queue. Idempotent;
+  // not thread-safe (call from one thread — the destructor calls it).
+  void Shutdown();
+
+ private:
+  struct PendingFact {
+    Symbol predicate;
+    Tuple tuple;
+  };
+
+  explicit ServerEngine(const ServerOptions& options) : options_(options) {}
+
+  void MaintenanceLoop();
+  void RecordQuery(uint64_t begin_ticks, uint64_t end_ticks, bool ok,
+                   size_t rows);
+
+  const ServerOptions options_;
+
+  // Immutable after Create (the evaluator and program point into the
+  // engine, which never moves).
+  SymbolTable symbols_;
+  Program program_;
+  ProgramInfo info_;
+  std::optional<IncrementalEvaluator> eval_;
+  std::unique_ptr<Tracer> tracer_;
+
+  // Serializes symbol interning and name rendering.
+  mutable std::mutex symbols_mu_;
+
+  // Guards everything below. Never held across an evaluation or a scan.
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;    // maintenance waits for work
+  std::condition_variable applied_cv_;  // Flush waits for absorption
+  std::deque<PendingFact> queue_;
+  std::shared_ptr<const ServerSnapshot> snapshot_;
+  uint64_t epoch_ = 0;
+  uint64_t submitted_ = 0;  // facts ever enqueued
+  uint64_t applied_ = 0;    // facts reflected in snapshot_
+  bool stop_ = false;
+  MetricsRegistry metrics_;
+  Histogram query_hist_;   // hist.query_ns (recorded under mu_)
+  Histogram update_hist_;  // hist.update_batch_ns (maintenance, under mu_)
+
+  std::thread maintenance_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_SERVER_ENGINE_H_

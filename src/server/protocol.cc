@@ -1,0 +1,258 @@
+#include "server/protocol.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+namespace pdatalog {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+ProtocolReply Ok(std::string text) { return ProtocolReply{std::move(text)}; }
+
+ProtocolReply Err(const std::string& reason) {
+  // Errors are single-line by contract: squash any newline the message
+  // carries (parser errors quote the input) so framing survives.
+  std::string flat = "err ";
+  for (char c : reason) flat += (c == '\n' || c == '\r') ? ' ' : c;
+  flat += '\n';
+  return ProtocolReply{std::move(flat)};
+}
+
+ProtocolReply HandleQuery(ServerEngine* engine, std::string_view text) {
+  StatusOr<QueryResult> result = engine->QueryText(text);
+  if (!result.ok()) return Err(result.status().message());
+  std::string reply = engine->Render(*result);
+  reply += "ok " + std::to_string(result->bindings.size()) + "\n";
+  return Ok(std::move(reply));
+}
+
+ProtocolReply HandleCommand(ServerEngine* engine, std::string_view text,
+                            const ProtocolOptions& options) {
+  std::string_view verb = text;
+  std::string_view arg;
+  size_t space = text.find_first_of(" \t");
+  if (space != std::string_view::npos) {
+    verb = text.substr(0, space);
+    arg = Trim(text.substr(space + 1));
+  }
+  if (verb == "!quit") {
+    ProtocolReply reply = Ok("ok bye\n");
+    reply.quit = true;
+    return reply;
+  }
+  if (verb == "!flush") {
+    return Ok("ok epoch " + std::to_string(engine->Flush()) + "\n");
+  }
+  if (verb == "!stats") {
+    return Ok(engine->StatsReport() + "ok\n");
+  }
+  if (verb == "!snapshot") {
+    if (!options.allow_snapshot) return Err("snapshot is disabled");
+    if (arg.empty()) return Err("usage: !snapshot DIR");
+    StatusOr<size_t> saved = engine->SaveSnapshot(std::string(arg));
+    if (!saved.ok()) return Err(saved.status().message());
+    return Ok("ok saved " + std::to_string(*saved) + " relations\n");
+  }
+  return Err("unknown command '" + std::string(verb) +
+             "' (try !stats, !flush, !snapshot DIR, !quit)");
+}
+
+}  // namespace
+
+ProtocolReply HandleRequest(ServerEngine* engine, std::string_view line,
+                            const ProtocolOptions& options) {
+  std::string_view request = Trim(line);
+  if (request.empty()) return ProtocolReply{};
+  switch (request.front()) {
+    case '?': {
+      // "?- atom." or "? atom."
+      std::string_view text = request.substr(1);
+      if (!text.empty() && text.front() == '-') text.remove_prefix(1);
+      return HandleQuery(engine, text);
+    }
+    case '+': {
+      Status submitted = engine->SubmitFactText(request.substr(1));
+      if (!submitted.ok()) return Err(submitted.message());
+      return Ok("ok\n");
+    }
+    case '%':
+      return ProtocolReply{};  // comment line
+    case '!':
+      return HandleCommand(engine, request, options);
+    default:
+      return Err(
+          "unrecognized request (try '?- atom.', '+fact.', '!stats', "
+          "'!flush', '!quit')");
+  }
+}
+
+void ServeLoop(ServerEngine* engine, std::istream& in, std::ostream& out,
+               const ProtocolOptions& options) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ProtocolReply reply = HandleRequest(engine, line, options);
+    if (!reply.text.empty()) {
+      out << reply.text;
+      out.flush();
+    }
+    if (reply.quit) break;
+  }
+}
+
+// --- SocketServer ---------------------------------------------------
+
+SocketServer::SocketServer(ServerEngine* engine,
+                           const ProtocolOptions& options)
+    : engine_(engine), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  accept_thread_ = std::thread(&SocketServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void SocketServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal error
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(fd);
+    threads_.emplace_back(&SocketServer::ConnectionLoop, this, fd);
+  }
+}
+
+void SocketServer::ConnectionLoop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF, Stop()'s shutdown, or error
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while (!quit &&
+           (newline = buffer.find('\n', start)) != std::string::npos) {
+      ProtocolReply reply = HandleRequest(
+          engine_, std::string_view(buffer).substr(start, newline - start),
+          options_);
+      start = newline + 1;
+      const char* data = reply.text.data();
+      size_t remaining = reply.text.size();
+      while (remaining > 0) {
+        ssize_t written = ::write(fd, data, remaining);
+        if (written <= 0) {
+          quit = true;
+          break;
+        }
+        data += written;
+        remaining -= static_cast<size_t>(written);
+      }
+      if (reply.quit) quit = true;
+    }
+    buffer.erase(0, start);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // Deregister and close under one lock acquisition: the kernel cannot
+  // reuse this fd number for a new connection (registered by the accept
+  // thread under the same lock) until close() runs, so Stop() never
+  // shuts down a stale or reused descriptor.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if (*it == fd) {
+      connections_.erase(it);
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Wake every connection thread blocked in read().
+    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Wake the acceptor (shutdown on a listening socket makes a blocked
+  // accept() return), but close the fd and clear the member only after
+  // the join: AcceptLoop reads listen_fd_ unsynchronized, and the join
+  // is the happens-before edge that makes the write safe.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // No new threads can start now (stopping_ is set, the acceptor is
+  // gone); join what remains.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace pdatalog

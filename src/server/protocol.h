@@ -1,0 +1,94 @@
+// The serving engine's text line protocol, shared by the stdio loop
+// (`pdatalog --serve`) and the socket listener (`--serve=PORT`).
+//
+// One request per line; every request yields a reply whose *last* line
+// starts with "ok" or "err" (query bindings and stats tables precede
+// it), so clients can frame replies without counting bytes:
+//
+//   ?- anc(alice, X).      query; binding lines, then "ok <count>"
+//   +par(ed, fred).        enqueue a base-fact update; "ok"
+//   !flush                 wait until all updates applied; "ok epoch <E>"
+//   !stats                 stats report lines, then "ok"
+//   !snapshot DIR          save the current snapshot; "ok saved <n> relations"
+//   !quit                  "ok bye" and closes the session
+//
+// Blank lines are ignored. Anything else — malformed atoms, unknown
+// verbs, arbitrary bytes — produces a clean "err <reason>" reply; the
+// handler never crashes on untrusted input (fuzzed in tests/fuzz_test).
+#ifndef PDATALOG_SERVER_PROTOCOL_H_
+#define PDATALOG_SERVER_PROTOCOL_H_
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/engine.h"
+#include "util/status.h"
+
+namespace pdatalog {
+
+struct ProtocolOptions {
+  // Permits `!snapshot DIR` to write the local filesystem. Off for
+  // untrusted transports (and the fuzzer).
+  bool allow_snapshot = true;
+};
+
+struct ProtocolReply {
+  // Full reply text, newline-terminated; empty for ignored blank lines.
+  std::string text;
+  // True after `!quit`: the transport should close the session.
+  bool quit = false;
+};
+
+// Handles one request line (no trailing newline required; a trailing
+// '\r' is stripped). Total over arbitrary input.
+ProtocolReply HandleRequest(ServerEngine* engine, std::string_view line,
+                            const ProtocolOptions& options = {});
+
+// Reads request lines from `in` until EOF or `!quit`, writing each
+// reply to `out` (flushed per request, for interactive use).
+void ServeLoop(ServerEngine* engine, std::istream& in, std::ostream& out,
+               const ProtocolOptions& options = {});
+
+// A minimal TCP listener on 127.0.0.1 running the same protocol, one
+// thread per connection. Built for the CLI's `--serve=PORT` and the
+// tests (port 0 binds an ephemeral port; port() reports it).
+class SocketServer {
+ public:
+  explicit SocketServer(ServerEngine* engine,
+                        const ProtocolOptions& options = {});
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds and starts accepting. Call at most once.
+  Status Start(int port);
+
+  // The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  // Closes the listener and every open connection, then joins all
+  // threads. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  ServerEngine* const engine_;
+  const ProtocolOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards connections_/threads_/stopping_
+  bool stopping_ = false;
+  std::vector<int> connections_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pdatalog
+
+#endif  // PDATALOG_SERVER_PROTOCOL_H_

@@ -1,10 +1,30 @@
-// Saving and loading databases as directories of TSV files (one file
-// per relation, named <predicate>.tsv). Pairs with datalog/fact_io.h:
-// saved relations reload with LoadFactsFromFile or the CLI's --facts.
+// Database snapshots, in two forms:
+//
+//  * On disk: directories of TSV files (one file per relation, named
+//    <predicate>.tsv). Constant names are escaped on save (\t, \n, \r
+//    and \\ become two-character escapes) and unescaped on load, so
+//    round-trips are exact for every internable string; malformed rows
+//    (bad escapes, ragged field counts) are rejected with a Status
+//    instead of being silently misparsed. Files written by older
+//    versions (no escapes) load unchanged unless they contain a bare
+//    backslash.
+//
+//  * In memory: `DatabaseView`, an immutable frozen view of a live
+//    database. A view pins, per relation, the row count and the column
+//    chunk pointers at freeze time. Chunks never relocate and rows are
+//    append-only (set semantics: no update, no delete), so a view stays
+//    valid and *constant* while the underlying relations keep growing —
+//    this is the copy-on-write read snapshot the serving engine hands
+//    to reader threads (src/server/). Freezing must be synchronized
+//    with the single writer (the maintenance thread freezes its own
+//    database between evaluation rounds); reads afterwards are
+//    wait-free and touch no shared mutable state.
 #ifndef PDATALOG_STORAGE_SNAPSHOT_H_
 #define PDATALOG_STORAGE_SNAPSHOT_H_
 
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "datalog/symbol_table.h"
 #include "storage/database.h"
@@ -12,14 +32,87 @@
 
 namespace pdatalog {
 
+// Frozen view of one relation: arity, the row count at freeze time, and
+// one chunk-pointer list per column. Cells [0, size()) read through the
+// live relation's chunks, which are immutable below the freeze point.
+class RelationView {
+ public:
+  RelationView() = default;
+
+  // Captures `relation` at its current size. Caller must guarantee no
+  // concurrent mutation during the capture (single-writer contract).
+  explicit RelationView(const Relation& relation);
+
+  int arity() const { return arity_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  Value cell(size_t row, int col) const {
+    return columns_[static_cast<size_t>(col)]
+                   [row >> ColumnStore::kChunkShift]
+                   [row & ColumnStore::kChunkMask];
+  }
+
+  // Materializes row `i` (cold paths: saving, sorted dumps).
+  Tuple row(size_t i) const;
+
+  // Sorted textual dump, identical to Relation::ToSortedString over the
+  // same rows (tests compare the two directly).
+  std::string ToSortedString(const SymbolTable& symbols) const;
+
+ private:
+  int arity_ = 0;
+  size_t num_rows_ = 0;
+  // columns_[col][chunk] -> first value of that chunk. Pointers alias
+  // the live ColumnStore's chunks (never relocated, never freed while
+  // the owning Relation lives).
+  std::vector<std::vector<const Value*>> columns_;
+};
+
+// Frozen view of a whole database: one RelationView per relation.
+class DatabaseView {
+ public:
+  DatabaseView() = default;
+
+  // Captures every relation of `db`. Single-writer contract as above.
+  static DatabaseView Freeze(const Database& db);
+
+  const RelationView* Find(Symbol predicate) const;
+  size_t relation_count() const { return relations_.size(); }
+
+  // Sum of row counts over all relations (cheap liveness metric).
+  size_t total_rows() const;
+
+  const std::unordered_map<Symbol, RelationView>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::unordered_map<Symbol, RelationView> relations_;
+};
+
+// TSV field escaping used by Save/LoadDatabase. Exposed for tests.
+std::string EscapeTsvField(const std::string& name);
+// Returns false on a malformed escape (trailing '\' or unknown code).
+bool UnescapeTsvField(std::string_view field, std::string* out);
+
 // Writes every relation of `db` to `directory` (created if missing) as
-// <name>.tsv with tab-separated constant names, rows sorted for
-// reproducible output. Returns the number of files written.
+// <name>.tsv with tab-separated, escaped constant names, rows sorted
+// for reproducible output. Returns the number of files written.
 StatusOr<size_t> SaveDatabase(const Database& db, const SymbolTable& symbols,
                               const std::string& directory);
 
+// Same, from a frozen view (the serving engine's `!snapshot` verb saves
+// the snapshot readers currently see, not the moving fixpoint).
+StatusOr<size_t> SaveDatabase(const DatabaseView& view,
+                              const SymbolTable& symbols,
+                              const std::string& directory);
+
 // Loads every *.tsv file of `directory` into `db`, using the file stem
-// as the predicate name. Returns the number of relations loaded.
+// as the predicate name. Fields are split on tabs only and unescaped;
+// a row whose field count disagrees with the relation arity or whose
+// escapes are malformed fails the load with InvalidArgument. Returns
+// the number of relations loaded.
 StatusOr<size_t> LoadDatabase(const std::string& directory,
                               SymbolTable* symbols, Database* db);
 

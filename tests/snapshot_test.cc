@@ -92,5 +92,132 @@ TEST_F(SnapshotTest, EmptyDatabaseSavesNothing) {
   EXPECT_EQ(*n, 0u);
 }
 
+TEST(TsvEscapeTest, EscapeUnescapeRoundTrip) {
+  for (const std::string& name :
+       {std::string("plain"), std::string("has\ttab"),
+        std::string("has\nnewline"), std::string("has\rcr"),
+        std::string("back\\slash"), std::string("\t\n\r\\"),
+        std::string("")}) {
+    std::string escaped = EscapeTsvField(name);
+    // Escaped fields never contain raw separators.
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << name;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << name;
+    std::string back;
+    ASSERT_TRUE(UnescapeTsvField(escaped, &back)) << name;
+    EXPECT_EQ(back, name);
+  }
+}
+
+TEST(TsvEscapeTest, MalformedEscapesRejected) {
+  std::string out;
+  EXPECT_FALSE(UnescapeTsvField("trailing\\", &out));
+  EXPECT_FALSE(UnescapeTsvField("bad\\x", &out));
+  // Unescaped legacy fields (no backslashes) pass through.
+  ASSERT_TRUE(UnescapeTsvField("plain_old", &out));
+  EXPECT_EQ(out, "plain_old");
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesSeparatorCharacters) {
+  // The regression this escaping fixes: constant names containing the
+  // TSV separators themselves used to corrupt the file.
+  SymbolTable symbols;
+  Database db;
+  Relation& rel = db.GetOrCreate(symbols.Intern("odd"), 2);
+  rel.Insert(Tuple{symbols.Intern("a\tb"), symbols.Intern("c\nd")});
+  rel.Insert(Tuple{symbols.Intern("e\\f"), symbols.Intern("g\rh")});
+  ASSERT_TRUE(SaveDatabase(db, symbols, dir_).ok());
+
+  SymbolTable symbols2;
+  Database loaded;
+  ASSERT_TRUE(LoadDatabase(dir_, &symbols2, &loaded).ok());
+  const Relation* back = loaded.Find(symbols2.Lookup("odd"));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->ToSortedString(symbols2),
+            rel.ToSortedString(symbols));
+}
+
+TEST_F(SnapshotTest, MalformedRowsFailTheLoad) {
+  SymbolTable symbols;
+  Database db;
+  GenChain(&symbols, &db, "e", 2);
+  ASSERT_TRUE(SaveDatabase(db, symbols, dir_).ok());
+
+  // Ragged row: three fields in an arity-2 relation.
+  {
+    FILE* f = fopen((dir_ + "/e.tsv").c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    fputs("x\ty\tz\n", f);
+    fclose(f);
+    SymbolTable s;
+    Database d;
+    StatusOr<size_t> n = LoadDatabase(dir_, &s, &d);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(n.status().message().find("e.tsv"), std::string::npos);
+  }
+  // Bad escape sequence.
+  {
+    FILE* f = fopen((dir_ + "/e.tsv").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("ok\\tfield\tbad\\qescape\n", f);
+    fclose(f);
+    SymbolTable s;
+    Database d;
+    StatusOr<size_t> n = LoadDatabase(dir_, &s, &d);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(DatabaseViewTest, FrozenViewMatchesAndStaysConstant) {
+  SymbolTable symbols;
+  Database db;
+  Relation& rel = db.GetOrCreate(symbols.Intern("edge"), 2);
+  // Span multiple chunks so the chunk-pointer walk is exercised.
+  const size_t kRows = ColumnStore::kChunkRows * 2 + 17;
+  for (size_t i = 0; i < kRows; ++i) {
+    rel.Insert(Tuple{symbols.Intern("a" + std::to_string(i)),
+                     symbols.Intern("b" + std::to_string(i))});
+  }
+  DatabaseView view = DatabaseView::Freeze(db);
+  ASSERT_EQ(view.relation_count(), 1u);
+  const RelationView* frozen = view.Find(symbols.Lookup("edge"));
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_EQ(frozen->size(), kRows);
+  EXPECT_EQ(view.total_rows(), kRows);
+  EXPECT_EQ(frozen->ToSortedString(symbols), rel.ToSortedString(symbols));
+  for (size_t i = 0; i < kRows; i += 997) {
+    EXPECT_EQ(frozen->row(i), rel.row(i)) << i;
+    EXPECT_EQ(frozen->cell(i, 0), rel.row(i)[0]) << i;
+  }
+
+  // Growing the relation does not move the view.
+  std::string before = frozen->ToSortedString(symbols);
+  for (size_t i = 0; i < ColumnStore::kChunkRows + 5; ++i) {
+    rel.Insert(Tuple{symbols.Intern("x" + std::to_string(i)),
+                     symbols.Intern("y" + std::to_string(i))});
+  }
+  EXPECT_EQ(frozen->size(), kRows);
+  EXPECT_EQ(frozen->ToSortedString(symbols), before);
+
+  // An absent predicate is null, not a crash.
+  EXPECT_EQ(view.Find(symbols.Intern("nosuch")), nullptr);
+}
+
+TEST_F(SnapshotTest, SaveFromViewEqualsSaveFromDatabase) {
+  SymbolTable symbols;
+  Database db;
+  GenRandomGraph(&symbols, &db, "edge", 12, 30, 7);
+  DatabaseView view = DatabaseView::Freeze(db);
+  ASSERT_TRUE(SaveDatabase(view, symbols, dir_).ok());
+
+  SymbolTable symbols2;
+  Database loaded;
+  ASSERT_TRUE(LoadDatabase(dir_, &symbols2, &loaded).ok());
+  EXPECT_EQ(loaded.Find(symbols2.Lookup("edge"))->ToSortedString(symbols2),
+            db.Find(symbols.Lookup("edge"))->ToSortedString(symbols));
+}
+
 }  // namespace
 }  // namespace pdatalog

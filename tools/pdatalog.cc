@@ -28,6 +28,16 @@ int main(int argc, char** argv) {
     source << file.rdbuf();
   }
 
+  if (options->serve) {
+    pdatalog::Status status = pdatalog::RunServe(
+        *options, source.str(), std::cin, std::cout);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   if (options->interactive) {
     pdatalog::Status status = pdatalog::RunInteractive(
         *options, source.str(), std::cin, std::cout);
