@@ -10,6 +10,13 @@
 //   mix_95_5    95% queries / 5% updates — read-mostly cache serving.
 //   mix_50_50   50% / 50% — write-heavy maintenance pressure.
 //
+// A third record, mix_95_5_telemetry, re-runs the read-mostly mix with
+// the full telemetry stack live — background sampler, sliding windows,
+// slow-query tracing, and an HTTP scraper thread hammering GET /metrics
+// — and reports telemetry_overhead_pct: the p99 regression relative to
+// the plain mix_95_5 run of the same invocation (same machine, same
+// load), the acceptance gate for "monitoring must not tax serving".
+//
 // Reported per mix: sustained query throughput (qps) and client-side
 // latency percentiles serve_p50_ms / serve_p95_ms / serve_p99_ms
 // (measured around each Query() call, all reader threads merged), plus
@@ -30,10 +37,16 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "bench_json.h"
 #include "bench_util.h"
 #include "obs/histogram.h"
 #include "server/engine.h"
+#include "server/protocol.h"
 #include "storage/snapshot.h"
 
 using namespace pdatalog;
@@ -141,22 +154,60 @@ bool CheckConsistency(ServerEngine* engine, const std::string& base_source,
   return ok;
 }
 
+// One GET against the loopback telemetry endpoint; returns the raw
+// response ("" on any failure — the scraper is load, not a check).
+std::string HttpGet(int port, const char* path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  if (::write(fd, request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
 struct MixResult {
   double wall_ms = 0;
   double qps = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
   uint64_t queries = 0;
   size_t updates = 0;
+  uint64_t scrapes = 0;
   bool consistent = false;
 };
 
 MixResult RunMix(const std::string& id, const std::string& base_source,
                  int num_nodes, int readers, uint64_t queries_per_reader,
-                 size_t num_updates, uint64_t seed) {
+                 size_t num_updates, uint64_t seed,
+                 const ServerOptions& sopts = {}, bool scrape = false) {
   StatusOr<std::unique_ptr<ServerEngine>> created =
-      ServerEngine::Create(base_source);
+      ServerEngine::Create(base_source, sopts);
   if (!created.ok()) bench::AncestorHarness::Die("serve", created.status());
   ServerEngine* engine = created->get();
+
+  TelemetryHttpServer http(engine);
+  if (scrape && !http.Start(0).ok()) {
+    bench::AncestorHarness::Die(
+        "telemetry", Status::Internal("telemetry endpoint failed to bind"));
+  }
 
   std::vector<std::string> updates =
       MakeUpdateStream(num_nodes, num_updates, seed);
@@ -178,11 +229,27 @@ MixResult RunMix(const std::string& id, const std::string& base_source,
   const uint64_t total_queries =
       queries_per_reader * static_cast<uint64_t>(readers);
   std::atomic<uint64_t> queries_done{0};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<bool> stop_scraper{false};
   std::vector<Histogram> lat(static_cast<size_t>(readers));
 
   Stopwatch watch;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(readers) + 1);
+  threads.reserve(static_cast<size_t>(readers) + 2);
+  if (scrape) {
+    // A Prometheus-style poller: scrape /metrics (and /health) through
+    // the real HTTP endpoint for the whole run, so the measured
+    // overhead includes sampling, merging, and rendering.
+    threads.emplace_back([&] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        if (!HttpGet(http.port(), "/metrics").empty()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)HttpGet(http.port(), "/health");
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
   for (int t = 0; t < readers; ++t) {
     threads.emplace_back([&, t] {
       Histogram& h = lat[static_cast<size_t>(t)];
@@ -221,9 +288,15 @@ MixResult RunMix(const std::string& id, const std::string& base_source,
       }
     }
   });
-  for (std::thread& t : threads) t.join();
+  // The scraper is stopped separately (it never exits on its own).
+  for (size_t t = scrape ? 1 : 0; t < threads.size(); ++t) {
+    threads[t].join();
+  }
   double wall = watch.ElapsedSeconds();
+  stop_scraper.store(true, std::memory_order_relaxed);
+  if (scrape) threads[0].join();
   engine->Flush();
+  http.Stop();
 
   Histogram merged;
   for (const Histogram& h : lat) merged.Merge(h);
@@ -232,6 +305,7 @@ MixResult RunMix(const std::string& id, const std::string& base_source,
   r.wall_ms = wall * 1e3;
   r.queries = total_queries;
   r.updates = updates.size();
+  r.scrapes = scrapes.load(std::memory_order_relaxed);
   r.qps = wall == 0 ? 0.0 : static_cast<double>(total_queries) / wall;
   r.p50_ms = merged.Percentile(50) / 1e6;
   r.p95_ms = merged.Percentile(95) / 1e6;
@@ -279,13 +353,21 @@ int main(int argc, char** argv) {
       {"mix_50_50", static_cast<size_t>(total_queries)},
   };
 
+  // Plain mixes run with telemetry fully off (no sampler thread) so
+  // the telemetry re-run below measures the whole stack's cost.
+  ServerOptions plain_opts;
+  plain_opts.sample_interval_ms = 0;
+
   TextTable table({"mix", "queries", "updates", "qps", "p50 ms", "p95 ms",
                    "p99 ms", "consistent"});
   bool all_consistent = true;
+  double plain_95_5_p99 = 0;
   for (const Mix& mix : mixes) {
     MixResult r = RunMix(mix.id, base_source, num_nodes, readers,
-                         queries_per_reader, mix.updates, 0xfeed);
+                         queries_per_reader, mix.updates, 0xfeed,
+                         plain_opts);
     all_consistent = all_consistent && r.consistent;
+    if (std::strcmp(mix.id, "mix_95_5") == 0) plain_95_5_p99 = r.p99_ms;
     table.AddRow({TextTable::Cell(mix.id), TextTable::Cell(r.queries),
                   TextTable::Cell(static_cast<uint64_t>(r.updates)),
                   TextTable::Cell(r.qps, 0), TextTable::Cell(r.p50_ms, 4),
@@ -303,12 +385,51 @@ int main(int argc, char** argv) {
         .Set("serve_p99_ms", r.p99_ms)
         .Set("consistent", r.consistent);
   }
+
+  // The read-mostly mix again with the monitoring stack live: sampler
+  // + windows, slow-query tracing, and a 20 ms HTTP scrape loop.
+  ServerOptions telemetry_opts;
+  telemetry_opts.sample_interval_ms = 200;
+  telemetry_opts.slow_query_ms = 50;
+  {
+    MixResult r = RunMix("mix_95_5_telemetry", base_source, num_nodes,
+                         readers, queries_per_reader,
+                         static_cast<size_t>(total_queries / 19), 0xfeed,
+                         telemetry_opts, /*scrape=*/true);
+    all_consistent = all_consistent && r.consistent;
+    const double overhead_pct =
+        plain_95_5_p99 <= 0 ? 0.0
+                            : (r.p99_ms / plain_95_5_p99 - 1.0) * 100.0;
+    table.AddRow({TextTable::Cell("mix_95_5_telemetry"),
+                  TextTable::Cell(r.queries),
+                  TextTable::Cell(static_cast<uint64_t>(r.updates)),
+                  TextTable::Cell(r.qps, 0), TextTable::Cell(r.p50_ms, 4),
+                  TextTable::Cell(r.p95_ms, 4), TextTable::Cell(r.p99_ms, 4),
+                  TextTable::Cell(r.consistent ? "yes" : "NO")});
+    std::printf("telemetry run: %llu /metrics scrapes, p99 overhead %+.1f%%\n",
+                static_cast<unsigned long long>(r.scrapes), overhead_pct);
+    json.NewRecord()
+        .Set("id", std::string("mix_95_5_telemetry"))
+        .Set("readers", readers)
+        .Set("queries", r.queries)
+        .Set("updates", static_cast<uint64_t>(r.updates))
+        .Set("base_edges", static_cast<uint64_t>(base_edges))
+        .Set("scrapes", r.scrapes)
+        .Set("qps", r.qps)
+        .Set("serve_p50_ms", r.p50_ms)
+        .Set("serve_p95_ms", r.p95_ms)
+        .Set("serve_p99_ms", r.p99_ms)
+        .Set("telemetry_overhead_pct", overhead_pct)
+        .Set("consistent", r.consistent);
+  }
   table.Print();
   std::printf(
       "\nreading guide: qps is sustained reader throughput while the\n"
       "update stream is live; serve_p99_ms is the client-observed tail.\n"
       "`consistent` compares the final served snapshot against a\n"
-      "from-scratch batch evaluation of initial + streamed facts.\n");
+      "from-scratch batch evaluation of initial + streamed facts.\n"
+      "telemetry_overhead_pct is mix_95_5_telemetry's p99 regression\n"
+      "against the plain mix_95_5 run of this same invocation.\n");
   json.WriteFile();
   if (!all_consistent) {
     std::fprintf(stderr, "bench_serve: consistency check FAILED\n");

@@ -52,7 +52,8 @@ Status UsageError(const std::string& message) {
       " [--rebalance-skew=R] [--rebalance-buckets=N]"
       " [--trace=FILE] [--metrics=FILE] [--profile[=FILE]]"
       " [--trace-ring-kb=N] [--incremental]"
-      " [--serve[=PORT]] [--serve-batch=N]"
+      " [--serve[=PORT]] [--serve-batch=N] [--telemetry-port=P]"
+      " [--slow-query-ms=T] [--health-queue=N] [--health-lag-ms=M]"
       " [--program=name] [--print-programs] [--stats] [program.dl]");
 }
 
@@ -64,12 +65,6 @@ size_t RingCapacity(const CliOptions& options) {
   size_t capacity = static_cast<size_t>(options.trace_ring_kb) * 1024 /
                     sizeof(TraceEvent);
   return capacity == 0 ? 1 : capacity;
-}
-
-std::string TraceDropWarning(uint64_t dropped) {
-  return "warning: trace ring overflow dropped " + U64(dropped) +
-         " events; exported trace/profile are truncated "
-         "(raise --trace-ring-kb)\n";
 }
 
 // Picks default discriminating sequences for the general scheme: each
@@ -408,6 +403,30 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
         return UsageError("serve-batch must be in [1, 1048576]");
       }
       options.serve_batch = value;
+    } else if (ConsumePrefix(arg, "--telemetry-port=", &rest)) {
+      int value = std::atoi(rest.c_str());
+      if (rest.empty() || value < 0 || value > 65535 ||
+          rest.find_first_not_of("0123456789") != std::string::npos) {
+        return UsageError("--telemetry-port must be in [0, 65535]");
+      }
+      options.telemetry_port = value;
+    } else if (ConsumePrefix(arg, "--slow-query-ms=", &rest)) {
+      options.slow_query_ms = std::atof(rest.c_str());
+      if (options.slow_query_ms < 0) {
+        return UsageError("slow-query-ms must be >= 0");
+      }
+    } else if (ConsumePrefix(arg, "--health-queue=", &rest)) {
+      long long value = std::atoll(rest.c_str());
+      if (rest.empty() || value < 0 ||
+          rest.find_first_not_of("0123456789") != std::string::npos) {
+        return UsageError("health-queue must be a non-negative integer");
+      }
+      options.health_queue = value;
+    } else if (ConsumePrefix(arg, "--health-lag-ms=", &rest)) {
+      options.health_lag_ms = std::atof(rest.c_str());
+      if (options.health_lag_ms < 0) {
+        return UsageError("health-lag-ms must be >= 0");
+      }
     } else if (arg == "--list-programs") {
       options.list_programs = true;
     } else if (arg == "--explain") {
@@ -441,6 +460,13 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   }
   if (options.serve && options.interactive) {
     return UsageError("--serve and --interactive are exclusive");
+  }
+  if (!options.serve &&
+      (options.telemetry_port >= 0 || options.slow_query_ms > 0 ||
+       options.health_queue >= 0 || options.health_lag_ms >= 0)) {
+    return UsageError(
+        "--telemetry-port, --slow-query-ms, --health-queue, and "
+        "--health-lag-ms require --serve");
   }
   if (options.serve && !options.fact_files.empty()) {
     return UsageError(
@@ -838,6 +864,16 @@ Status RunServe(const CliOptions& options, const std::string& source,
 
   ServerOptions sopts;
   sopts.max_batch = static_cast<size_t>(options.serve_batch);
+  sopts.trace = !options.trace_file.empty();
+  sopts.trace_ring_capacity = RingCapacity(options);
+  sopts.slow_query_ms = options.slow_query_ms;
+  if (options.health_queue >= 0) {
+    sopts.health.max_queue_depth =
+        static_cast<uint64_t>(options.health_queue);
+  }
+  if (options.health_lag_ms >= 0) {
+    sopts.health.max_lag_ms = options.health_lag_ms;
+  }
   StatusOr<std::unique_ptr<ServerEngine>> engine =
       ServerEngine::Create(effective_source, sopts);
   if (!engine.ok()) return engine.status();
@@ -854,13 +890,47 @@ Status RunServe(const CliOptions& options, const std::string& source,
     PDATALOG_RETURN_IF_ERROR(socket->Start(options.serve_port));
     out << "listening on 127.0.0.1:" << socket->port() << "\n";
   }
+  std::unique_ptr<TelemetryHttpServer> telemetry;
+  if (options.telemetry_port >= 0) {
+    telemetry = std::make_unique<TelemetryHttpServer>(server);
+    PDATALOG_RETURN_IF_ERROR(telemetry->Start(options.telemetry_port));
+    out << "telemetry on http://127.0.0.1:" << telemetry->port()
+        << "/metrics\n";
+  }
   out.flush();
 
   // The stdio session owns the server's lifetime: EOF or `!quit` here
-  // stops the listener and shuts the engine down.
+  // stops the listeners and shuts the engine down.
   ServeLoop(server, in, out);
+  if (telemetry != nullptr) telemetry->Stop();
   if (socket != nullptr) socket->Stop();
   server->Shutdown();
+
+  // Post-shutdown exports, mirroring the one-shot paths: the Chrome
+  // trace carries kQuery/kApply/kMaintain spans (query End events carry
+  // the snapshot epoch as their arg), the metrics JSON the final
+  // telemetry sample.
+  Tracer* tracer = server->tracer();
+  if (tracer != nullptr && !options.trace_file.empty()) {
+    PDATALOG_RETURN_IF_ERROR(WriteChromeTrace(*tracer, options.trace_file));
+    out << "trace: " << tracer->total_events() << " events ("
+        << tracer->total_dropped() << " dropped) -> " << options.trace_file
+        << "\n";
+  }
+  if (tracer != nullptr && tracer->total_dropped() > 0) {
+    out << TraceDropWarning(tracer->total_dropped());
+  }
+  if (!options.metrics_file.empty()) {
+    MetricsRegistry m = server->MetricsCopy();
+    if (tracer != nullptr) {
+      m.AddCounter("trace.events", tracer->total_events());
+      m.AddCounter("trace.dropped", tracer->total_dropped());
+    }
+    PDATALOG_RETURN_IF_ERROR(WriteMetricsJson(m, options.metrics_file));
+    out << "metrics: " << m.size() << " metrics -> " << options.metrics_file
+        << "\n";
+  }
+  out.flush();
   return Status::Ok();
 }
 

@@ -35,6 +35,19 @@
 //                               listen on 127.0.0.1:PORT (0 = ephemeral)
 //     --serve-batch=N           serving mode: max facts absorbed per
 //                               maintenance cycle (default 256)
+//     --telemetry-port=P        serving mode: HTTP scrape endpoint on
+//                               127.0.0.1:P (0 = ephemeral) serving
+//                               GET /metrics (Prometheus text
+//                               exposition) and GET /health (200/503)
+//     --slow-query-ms=T         serving mode: queries at or above T ms
+//                               are captured in the slow-query ring
+//                               (shown by !stats and /metrics); 0 = off
+//     --health-queue=N          serving mode: !health / /health flips
+//                               to degraded beyond N pending updates
+//                               (default 4096; 0 disables the check)
+//     --health-lag-ms=M         serving mode: degraded when the oldest
+//                               pending update is older than M ms
+//                               (default 5000; 0 disables the check)
 //     --save=dir                save all relations (input + derived) as
 //                               TSV files under dir after evaluation
 //     --advise                  profile candidate schemes and print a
@@ -145,6 +158,15 @@ struct CliOptions {
   bool serve = false;
   int serve_port = -1;
   int serve_batch = 256;  // --serve-batch
+  // --telemetry-port=P: serving-mode HTTP scrape endpoint. -1 = off;
+  // [0, 65535] listens on 127.0.0.1 (0 picks an ephemeral port).
+  int telemetry_port = -1;
+  // --slow-query-ms: slow-query capture threshold (0 = off).
+  double slow_query_ms = 0;
+  // --health-queue / --health-lag-ms: degraded thresholds. -1 = engine
+  // default (see obs/telemetry.h HealthThresholds); 0 disables a check.
+  int64_t health_queue = -1;
+  double health_lag_ms = -1;
   bool list_programs = false;
   bool print_programs = false;
   bool print_stats = false;

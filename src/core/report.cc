@@ -26,13 +26,7 @@ std::string RenderReport(const ParallelResult& result,
            TextTable::Cell(tuples_per_frame, 1) + " tuples/frame), " +
            std::to_string(result.self_tuples) + " self-routed, " +
            TextTable::Cell(result.wall_seconds * 1e3, 2) + " ms\n";
-    uint64_t trace_dropped = result.metrics.counter("trace.dropped");
-    if (trace_dropped > 0) {
-      out += "warning: trace ring overflow dropped " +
-             std::to_string(trace_dropped) +
-             " events; the exported trace and profile are truncated "
-             "(raise --trace-ring-kb)\n";
-    }
+    out += TraceDropWarning(result.metrics.counter("trace.dropped"));
     if (result.faults.any()) {
       out += "faults: " + std::to_string(result.faults.dropped) +
              " dropped, " + std::to_string(result.faults.duplicated) +
@@ -100,6 +94,13 @@ std::string RenderReport(const ParallelResult& result,
     out += RenderHistogramTable(result.metrics);
   }
   return out;
+}
+
+std::string TraceDropWarning(uint64_t dropped) {
+  if (dropped == 0) return "";
+  return "warning: trace ring overflow dropped " + std::to_string(dropped) +
+         " events; the exported trace and profile are truncated "
+         "(raise --trace-ring-kb)\n";
 }
 
 std::string RenderHistogramTable(const MetricsRegistry& metrics) {

@@ -27,6 +27,12 @@ std::string RenderReport(const ParallelResult& result,
 // Shared with the serving engine's `!stats` report (src/server/).
 std::string RenderHistogramTable(const MetricsRegistry& metrics);
 
+// The trace-ring overflow warning, one line with trailing newline;
+// empty string when nothing was dropped. Shared by RenderReport, the
+// CLI's one-shot paths, and the serving engine's `!stats` report —
+// every mode that exports traces warns the same way.
+std::string TraceDropWarning(uint64_t dropped);
+
 // Renders the BSP replay of the round logs as a text timeline: one row
 // per processor, one column block per superstep, bar length scaled to
 // that superstep's cost share. `width` caps the total character width.

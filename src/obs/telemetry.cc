@@ -1,0 +1,139 @@
+#include "obs/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pdatalog {
+namespace {
+
+// Formats a double the way the exposition format expects: plain
+// decimal, no locale, enough digits to round-trip counters exactly.
+std::string ExpoNumber(double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value < 1e15 && value > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string HealthVerdict::ToString() const {
+  if (ok) return "ok";
+  std::string out = "degraded (";
+  for (size_t i = 0; i < reasons.size(); ++i) {
+    if (i != 0) out += "; ";
+    out += reasons[i];
+  }
+  out += ")";
+  return out;
+}
+
+HealthVerdict EvaluateHealth(uint64_t queue_depth, double lag_ms,
+                             const HealthThresholds& thresholds) {
+  HealthVerdict verdict;
+  if (thresholds.max_queue_depth > 0 &&
+      queue_depth > thresholds.max_queue_depth) {
+    verdict.ok = false;
+    verdict.reasons.push_back(
+        "update queue depth " + std::to_string(queue_depth) + " > " +
+        std::to_string(thresholds.max_queue_depth));
+  }
+  if (thresholds.max_lag_ms > 0 && lag_ms > thresholds.max_lag_ms) {
+    verdict.ok = false;
+    verdict.reasons.push_back("maintenance lag " + ExpoNumber(lag_ms) +
+                              " ms > " + ExpoNumber(thresholds.max_lag_ms) +
+                              " ms");
+  }
+  return verdict;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out = "pdatalog_";
+  for (char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        break;  // a bare CR has no escape; drop it
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ExpositionText(const MetricsRegistry& metrics,
+                           const std::vector<SlowQueryRecord>& slow) {
+  std::string out;
+  for (const auto& [name, value] : metrics.counters()) {
+    const std::string expo = SanitizeMetricName(name) + "_total";
+    out += "# TYPE " + expo + " counter\n";
+    out += expo + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    const std::string expo = SanitizeMetricName(name);
+    out += "# TYPE " + expo + " gauge\n";
+    out += expo + " " + ExpoNumber(value) + "\n";
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    const std::string expo = SanitizeMetricName(name);
+    out += "# TYPE " + expo + " histogram\n";
+    // Log2 buckets become cumulative `le` series. Bucket b >= 1 holds
+    // integer values [2^(b-1), 2^b), so its inclusive upper bound is
+    // 2^b - 1; bucket 0 holds exactly 0. Trailing empty buckets are
+    // trimmed (the +Inf bucket always closes the family at count()).
+    int last = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) != 0) last = b;
+    }
+    uint64_t cumulative = 0;
+    for (int b = 0; b <= last; ++b) {
+      cumulative += h.bucket(b);
+      const uint64_t le = b == 0 ? 0 : (uint64_t{1} << b) - 1;
+      out += expo + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += expo + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+           "\n";
+    out += expo + "_sum " + std::to_string(h.sum()) + "\n";
+    out += expo + "_count " + std::to_string(h.count()) + "\n";
+  }
+  if (!slow.empty()) {
+    // Bounded label cardinality: one series per retained ring slot.
+    out += "# TYPE pdatalog_slow_query_latency_ms gauge\n";
+    for (size_t i = 0; i < slow.size(); ++i) {
+      const SlowQueryRecord& r = slow[i];
+      out += "pdatalog_slow_query_latency_ms{slot=\"" +
+             std::to_string(i) + "\",atom=\"" + EscapeLabelValue(r.atom) +
+             "\",epoch=\"" + std::to_string(r.epoch) + "\",scan_rows=\"" +
+             std::to_string(r.scan_rows) + "\"} " +
+             ExpoNumber(static_cast<double>(r.latency_ns) / 1e6) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pdatalog

@@ -21,6 +21,7 @@
 #ifndef PDATALOG_OBS_TRACE_H_
 #define PDATALOG_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -118,17 +119,22 @@ class TraceRing {
   // semantics as Begin/End/Instant. The analyzer tests use this to
   // build synthetic traces with known geometry.
   void Append(const TraceEvent& event) {
-    if (used_ == events_.size()) {
-      ++dropped_;
+    const size_t used = used_.load(std::memory_order_relaxed);
+    if (used == events_.size()) {
+      dropped_.store(dropped_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
       return;
     }
-    events_[used_++] = event;
+    events_[used] = event;
+    used_.store(used + 1, std::memory_order_relaxed);
   }
 
   int id() const { return id_; }
   size_t capacity() const { return events_.size(); }
-  size_t size() const { return used_; }
-  uint64_t dropped() const { return dropped_; }
+  size_t size() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   const TraceEvent& event(size_t i) const { return events_[i]; }
 
   static uint64_t NowTicks() {
@@ -140,16 +146,16 @@ class TraceRing {
 
  private:
   void Append(TracePhase phase, TraceEventKind kind, uint32_t arg) {
-    if (used_ == events_.size()) {
-      ++dropped_;
-      return;
-    }
-    events_[used_++] = TraceEvent{NowTicks(), arg, phase, kind};
+    Append(TraceEvent{NowTicks(), arg, phase, kind});
   }
 
   int id_;
-  size_t used_ = 0;
-  uint64_t dropped_ = 0;
+  // Relaxed atomics, still single-writer: the serving engine's live
+  // sampler reads size()/dropped() while the owning thread appends, so
+  // the counters must be tear-free (the events themselves are only read
+  // post-run, as before).
+  std::atomic<size_t> used_{0};
+  std::atomic<uint64_t> dropped_{0};
   std::vector<TraceEvent> events_;
 };
 

@@ -11,17 +11,27 @@
 //
 //   * Any number of *reader threads* call Query()/QueryText(). A query
 //     pins the current `ServerSnapshot` (a shared_ptr swap under the
-//     engine mutex — the only lock it takes) and then scans the frozen
-//     DatabaseView wait-free: chunks never relocate and rows below the
-//     freeze point never mutate, so readers race with nothing. The
-//     mutex release/acquire on publication orders the maintenance
-//     thread's row writes before any reader's loads.
+//     engine mutex — the only engine-mutex touch it makes) and then
+//     scans the frozen DatabaseView wait-free: chunks never relocate
+//     and rows below the freeze point never mutate, so readers race
+//     with nothing. The mutex release/acquire on publication orders the
+//     maintenance thread's row writes before any reader's loads.
+//
+//   * One *telemetry sampler thread* (when enabled) periodically
+//     rotates the sliding-window histograms and publishes a timestamped
+//     snapshot of the metrics registry plus live gauges (queue depth,
+//     snapshot age, maintenance lag, window qps) into a bounded sample
+//     ring. Telemetry state lives under its own `stats_mu_`, never the
+//     engine mutex: a `/metrics` scrape, `!stats`, or `!watch` poller
+//     copies counters off the hot lock and can never stall queries or
+//     the maintenance thread (the engine mutex is only touched for a
+//     handful of scalar loads).
 //
 //   * The symbol table is not thread-safe; every operation that interns
 //     or renders names (parsing queries and facts, rendering results,
-//     saving snapshots) serializes on `symbols_mu_`. The fixpoint
-//     itself never interns, so maintenance and scans stay off that
-//     lock.
+//     saving snapshots, rendering slow-query atoms) serializes on
+//     `symbols_mu_`. The fixpoint itself never interns, so maintenance
+//     and scans stay off that lock.
 //
 // Updates are asynchronous: SubmitFact* enqueues and returns. Flush()
 // blocks until everything submitted so far is reflected in the
@@ -39,6 +49,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "datalog/ast.h"
 #include "datalog/query.h"
@@ -47,6 +58,7 @@
 #include "eval/incremental.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "storage/snapshot.h"
 #include "util/status.h"
@@ -61,6 +73,26 @@ struct ServerOptions {
   // spans on the engine ring.
   bool trace = false;
   size_t trace_ring_capacity = kDefaultTraceRingCapacity;
+
+  // --- live telemetry ------------------------------------------------
+  // Sampler period; every tick rotates the sliding windows and appends
+  // one timestamped registry snapshot to the sample ring. 0 disables
+  // the sampler thread (windows then only advance via SampleNow
+  // callers, and window percentiles degrade toward lifetime ones).
+  int sample_interval_ms = 500;
+  // Sliding-window width in sampler intervals: the windowed p50/p95/p99
+  // cover the last window_intervals × sample_interval_ms of traffic.
+  int window_intervals = 20;
+  // Bounded in-memory history of telemetry samples.
+  size_t sample_ring = 256;
+  // Queries at or above this latency are captured in the slow-query
+  // ring (rendered atom, epoch, snapshot age, scan rows, latency) and
+  // marked in the Chrome trace. 0 disables slow-query tracing.
+  double slow_query_ms = 0;
+  // Most-recent slow queries retained (drop-oldest).
+  size_t slow_ring = 64;
+  // `!health` / `/health` ceilings (obs/telemetry.h).
+  HealthThresholds health;
 };
 
 // What readers pin: an epoch-stamped frozen view of the fixpoint.
@@ -68,6 +100,9 @@ struct ServerOptions {
 // increments it. Immutable after publication.
 struct ServerSnapshot {
   uint64_t epoch = 0;
+  // Publication time (steady-clock ns); serve.snapshot_age_ms measures
+  // staleness against it.
+  uint64_t publish_ticks = 0;
   DatabaseView view;
 };
 
@@ -93,7 +128,7 @@ class ServerEngine {
   StatusOr<ParsedQuery> Parse(std::string_view query_text);
 
   // Answers `query` against the current snapshot. Wait-free after the
-  // two mutex-protected pointer/metric touches; never blocks on the
+  // snapshot pin and the stats-lock metric touch; never blocks on the
   // maintenance thread's evaluation.
   StatusOr<QueryResult> Query(const ParsedQuery& query);
 
@@ -114,7 +149,8 @@ class ServerEngine {
   Status SubmitFact(Symbol predicate, Tuple tuple);
 
   // Blocks until every fact submitted before the call is reflected in
-  // the published snapshot; returns that snapshot's epoch.
+  // the published snapshot; returns that snapshot's epoch. The wait is
+  // recorded in hist.flush_wait_ns / the serve.flush_wait_ms gauge.
   uint64_t Flush();
 
   // --- Introspection -------------------------------------------------
@@ -126,37 +162,78 @@ class ServerEngine {
   StatusOr<size_t> SaveSnapshot(const std::string& directory);
 
   // Human-readable `!stats` report: epoch, row counts, serve counters,
-  // and the latency percentile table (core/report).
-  std::string StatsReport() const;
+  // health, the latency percentile table (lifetime + windowed), and the
+  // slow-query ring.
+  std::string StatsReport();
 
-  // Point-in-time copy of the serve metrics, histograms included
-  // (hist.query_ns, hist.update_batch_ns).
-  MetricsRegistry MetricsCopy() const;
+  // Point-in-time copy of the serve metrics: counters, live gauges
+  // (serve.queue_depth, serve.snapshot_age_ms, serve.maintain_lag_ms,
+  // serve.window_qps, ...), and histograms — lifetime (hist.query_ns,
+  // hist.update_batch_ns, hist.flush_wait_ns) plus sliding-window
+  // variants (hist.query_window_ns, hist.update_batch_window_ns).
+  MetricsRegistry MetricsCopy();
+
+  // Captures a fresh telemetry sample (counters copied under the stats
+  // lock, scalar gauges read under the engine mutex, histograms merged
+  // outside any lock) and appends it to the sample ring. Does not
+  // rotate the windows — only the sampler thread's clock does that.
+  std::shared_ptr<const TelemetrySample> SampleNow();
+
+  // The sampler's most recent published sample (nullptr before the
+  // first tick); reading it takes no engine or stats lock.
+  std::shared_ptr<const TelemetrySample> latest_sample() const;
+
+  // Oldest-first copy of the bounded sample history.
+  std::vector<std::shared_ptr<const TelemetrySample>> SamplesCopy() const;
+
+  // Oldest-first copy of the retained slow queries.
+  std::vector<SlowQueryRecord> SlowQueries() const;
+
+  // Current health verdict against ServerOptions::health: queue depth
+  // and the age of the oldest pending update.
+  HealthVerdict Health() const;
+
+  // Fresh sample + slow-query ring rendered in the Prometheus text
+  // exposition format (the `/metrics` body).
+  std::string ExpositionText();
+
+  // One compact stats line for `!watch`: epoch, queue depth, lag,
+  // snapshot age, window qps/update rate and percentiles, health.
+  std::string WatchLine();
 
   const ProgramInfo& info() const { return info_; }
   const Program& program() const { return program_; }
+  const ServerOptions& options() const { return options_; }
 
   // Null unless ServerOptions::trace. Ring 0 belongs to the maintenance
   // thread; the engine ring carries query spans.
   Tracer* tracer() { return tracer_.get(); }
 
-  // Stops the maintenance thread after it drains the queue. Idempotent;
-  // not thread-safe (call from one thread — the destructor calls it).
+  // Stops the maintenance and sampler threads after the queue drains.
+  // Idempotent; not thread-safe (call from one thread — the destructor
+  // calls it).
   void Shutdown();
 
  private:
   struct PendingFact {
     Symbol predicate;
     Tuple tuple;
+    uint64_t enqueue_ticks = 0;  // for serve.maintain_lag_ms
   };
 
-  explicit ServerEngine(const ServerOptions& options) : options_(options) {}
+  explicit ServerEngine(const ServerOptions& options);
 
   void MaintenanceLoop();
-  void RecordQuery(uint64_t begin_ticks, uint64_t end_ticks, bool ok,
+  void TelemetryLoop();
+  // `rotate` advances the sliding windows (sampler thread only).
+  std::shared_ptr<const TelemetrySample> Sample(bool rotate);
+  void RecordQuery(const ParsedQuery& query,
+                   const std::shared_ptr<const ServerSnapshot>& snapshot,
+                   uint64_t begin_ticks, uint64_t end_ticks, bool ok,
                    size_t rows);
 
   const ServerOptions options_;
+  const uint64_t slow_query_ns_;  // 0 = slow-query tracing off
 
   // Immutable after Create (the evaluator and program point into the
   // engine, which never moves).
@@ -169,7 +246,10 @@ class ServerEngine {
   // Serializes symbol interning and name rendering.
   mutable std::mutex symbols_mu_;
 
-  // Guards everything below. Never held across an evaluation or a scan.
+  // The *engine mutex*: guards the update queue, the published snapshot
+  // pointer, and the epoch/submitted/applied counters. Never held
+  // across an evaluation, a scan, or a histogram merge — and since the
+  // telemetry split, never taken by metric recording at all.
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;    // maintenance waits for work
   std::condition_variable applied_cv_;  // Flush waits for absorption
@@ -179,11 +259,34 @@ class ServerEngine {
   uint64_t submitted_ = 0;  // facts ever enqueued
   uint64_t applied_ = 0;    // facts reflected in snapshot_
   bool stop_ = false;
+
+  // The *stats lock*: guards every telemetry structure below plus
+  // engine-ring trace appends (readers share that ring; serializing
+  // the appends preserves its single-writer contract). Held only for
+  // bounded copies and O(1) records — never for merges, rendering, or
+  // anything that could back-pressure the hot paths.
+  mutable std::mutex stats_mu_;
   MetricsRegistry metrics_;
-  Histogram query_hist_;   // hist.query_ns (recorded under mu_)
-  Histogram update_hist_;  // hist.update_batch_ns (maintenance, under mu_)
+  Histogram query_hist_;    // hist.query_ns
+  Histogram update_hist_;   // hist.update_batch_ns (maintenance)
+  Histogram flush_hist_;    // hist.flush_wait_ns
+  WindowedHistogram query_window_;   // hist.query_window_ns
+  WindowedHistogram update_window_;  // hist.update_batch_window_ns
+  SlowQueryRing slow_queries_;
+
+  // Sample history + latest published sample (tiny critical sections;
+  // endpoint readers touch only this lock).
+  mutable std::mutex samples_mu_;
+  SampleRing samples_;
+  std::shared_ptr<const TelemetrySample> latest_sample_;
+
+  // Sampler thread parking.
+  std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;
 
   std::thread maintenance_;
+  std::thread telemetry_;
 };
 
 }  // namespace pdatalog

@@ -5,9 +5,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 namespace pdatalog {
@@ -43,6 +46,39 @@ ProtocolReply HandleQuery(ServerEngine* engine, std::string_view text) {
   return Ok(std::move(reply));
 }
 
+// Parses "!watch [SEC [COUNT]]": SEC a decimal interval in seconds
+// (default 2, max 3600), COUNT the number of lines (default 0 =
+// unbounded). Total over garbage.
+ProtocolReply HandleWatch(std::string_view arg) {
+  double seconds = 2.0;
+  uint64_t count = 0;
+  if (!arg.empty()) {
+    const std::string text(arg);
+    char* end = nullptr;
+    seconds = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || seconds < 0 || seconds > 3600 ||
+        seconds != seconds) {
+      return Err("usage: !watch [SEC [COUNT]] with SEC in [0, 3600]");
+    }
+    std::string_view rest = Trim(text.c_str() + (end - text.c_str()));
+    if (!rest.empty()) {
+      const std::string count_text(rest);
+      char* count_end = nullptr;
+      unsigned long long parsed =
+          std::strtoull(count_text.c_str(), &count_end, 10);
+      if (count_end == count_text.c_str() || *count_end != '\0') {
+        return Err("usage: !watch [SEC [COUNT]] with integer COUNT");
+      }
+      count = parsed;
+    }
+  }
+  ProtocolReply reply;
+  reply.watch = true;
+  reply.watch_interval_ms = static_cast<int>(seconds * 1000.0);
+  reply.watch_count = count;
+  return reply;
+}
+
 ProtocolReply HandleCommand(ServerEngine* engine, std::string_view text,
                             const ProtocolOptions& options) {
   std::string_view verb = text;
@@ -63,6 +99,12 @@ ProtocolReply HandleCommand(ServerEngine* engine, std::string_view text,
   if (verb == "!stats") {
     return Ok(engine->StatsReport() + "ok\n");
   }
+  if (verb == "!health") {
+    return Ok("ok health " + engine->Health().ToString() + "\n");
+  }
+  if (verb == "!watch") {
+    return HandleWatch(arg);
+  }
   if (verb == "!snapshot") {
     if (!options.allow_snapshot) return Err("snapshot is disabled");
     if (arg.empty()) return Err("usage: !snapshot DIR");
@@ -71,7 +113,8 @@ ProtocolReply HandleCommand(ServerEngine* engine, std::string_view text,
     return Ok("ok saved " + std::to_string(*saved) + " relations\n");
   }
   return Err("unknown command '" + std::string(verb) +
-             "' (try !stats, !flush, !snapshot DIR, !quit)");
+             "' (try !stats, !health, !watch, !flush, !snapshot DIR, "
+             "!quit)");
 }
 
 }  // namespace
@@ -103,11 +146,44 @@ ProtocolReply HandleRequest(ServerEngine* engine, std::string_view line,
   }
 }
 
+void RunWatch(ServerEngine* engine, int interval_ms, uint64_t count,
+              const std::function<bool(std::string_view)>& write_line,
+              const std::function<bool()>& aborted) {
+  uint64_t emitted = 0;
+  while (count == 0 || emitted < count) {
+    if (aborted && aborted()) break;
+    if (!write_line(engine->WatchLine() + "\n")) return;  // client gone
+    ++emitted;
+    if (count != 0 && emitted >= count) break;
+    // Sleep in slices so Stop() (or `aborted`) is honored promptly even
+    // with a long interval.
+    int remaining = interval_ms;
+    bool stop = false;
+    while (remaining > 0 && !stop) {
+      const int slice = remaining < 50 ? remaining : 50;
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      remaining -= slice;
+      stop = aborted && aborted();
+    }
+    if (stop) break;
+  }
+  write_line("ok\n");  // close the frame even on abort
+}
+
 void ServeLoop(ServerEngine* engine, std::istream& in, std::ostream& out,
                const ProtocolOptions& options) {
   std::string line;
   while (std::getline(in, line)) {
     ProtocolReply reply = HandleRequest(engine, line, options);
+    if (reply.watch) {
+      RunWatch(engine, reply.watch_interval_ms, reply.watch_count,
+               [&out](std::string_view text) {
+                 out << text;
+                 out.flush();
+                 return static_cast<bool>(out);
+               });
+      continue;
+    }
     if (!reply.text.empty()) {
       out << reply.text;
       out.flush();
@@ -116,15 +192,33 @@ void ServeLoop(ServerEngine* engine, std::istream& in, std::ostream& out,
   }
 }
 
-// --- SocketServer ---------------------------------------------------
+// --- SocketListener --------------------------------------------------
 
-SocketServer::SocketServer(ServerEngine* engine,
-                           const ProtocolOptions& options)
-    : engine_(engine), options_(options) {}
+namespace {
 
-SocketServer::~SocketServer() { Stop(); }
+// Writes the whole buffer; false when the peer is gone.
+bool WriteAll(int fd, std::string_view text) {
+  const char* data = text.data();
+  size_t remaining = text.size();
+  while (remaining > 0) {
+    ssize_t written = ::write(fd, data, remaining);
+    if (written <= 0) return false;
+    data += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  return true;
+}
 
-Status SocketServer::Start(int port) {
+}  // namespace
+
+SocketListener::~SocketListener() {
+  // Subclass destructors already called Stop() (they must — a live
+  // connection thread would otherwise call a destroyed override); this
+  // is the idempotent backstop.
+  Stop();
+}
+
+Status SocketListener::Start(int port) {
   if (port < 0 || port > 65535) {
     return Status::InvalidArgument("port must be in [0, 65535]");
   }
@@ -158,11 +252,11 @@ Status SocketServer::Start(int port) {
       0) {
     port_ = static_cast<int>(ntohs(addr.sin_port));
   }
-  accept_thread_ = std::thread(&SocketServer::AcceptLoop, this);
+  accept_thread_ = std::thread(&SocketListener::AcceptLoop, this);
   return Status::Ok();
 }
 
-void SocketServer::AcceptLoop() {
+void SocketListener::AcceptLoop() {
   while (true) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -175,41 +269,12 @@ void SocketServer::AcceptLoop() {
       return;
     }
     connections_.push_back(fd);
-    threads_.emplace_back(&SocketServer::ConnectionLoop, this, fd);
+    threads_.emplace_back(&SocketListener::ConnectionThread, this, fd);
   }
 }
 
-void SocketServer::ConnectionLoop(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool quit = false;
-  while (!quit) {
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;  // EOF, Stop()'s shutdown, or error
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    size_t newline;
-    while (!quit &&
-           (newline = buffer.find('\n', start)) != std::string::npos) {
-      ProtocolReply reply = HandleRequest(
-          engine_, std::string_view(buffer).substr(start, newline - start),
-          options_);
-      start = newline + 1;
-      const char* data = reply.text.data();
-      size_t remaining = reply.text.size();
-      while (remaining > 0) {
-        ssize_t written = ::write(fd, data, remaining);
-        if (written <= 0) {
-          quit = true;
-          break;
-        }
-        data += written;
-        remaining -= static_cast<size_t>(written);
-      }
-      if (reply.quit) quit = true;
-    }
-    buffer.erase(0, start);
-  }
+void SocketListener::ConnectionThread(int fd) {
+  HandleConnection(fd);
   ::shutdown(fd, SHUT_RDWR);
   // Deregister and close under one lock acquisition: the kernel cannot
   // reuse this fd number for a new connection (registered by the accept
@@ -225,7 +290,7 @@ void SocketServer::ConnectionLoop(int fd) {
   ::close(fd);
 }
 
-void SocketServer::Stop() {
+void SocketListener::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
@@ -253,6 +318,125 @@ void SocketServer::Stop() {
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
+}
+
+// --- SocketServer ---------------------------------------------------
+
+SocketServer::SocketServer(ServerEngine* engine,
+                           const ProtocolOptions& options)
+    : engine_(engine), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+void SocketServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF, Stop()'s shutdown, or error
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while (!quit &&
+           (newline = buffer.find('\n', start)) != std::string::npos) {
+      ProtocolReply reply = HandleRequest(
+          engine_, std::string_view(buffer).substr(start, newline - start),
+          options_);
+      start = newline + 1;
+      if (reply.watch) {
+        RunWatch(
+            engine_, reply.watch_interval_ms, reply.watch_count,
+            [fd](std::string_view text) { return WriteAll(fd, text); },
+            [this] { return stopping(); });
+        continue;
+      }
+      if (!WriteAll(fd, reply.text)) quit = true;
+      if (reply.quit) quit = true;
+    }
+    buffer.erase(0, start);
+  }
+}
+
+// --- TelemetryHttpServer ---------------------------------------------
+
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out.append(body.data(), body.size());
+  return out;
+}
+
+constexpr const char* kExpositionType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+TelemetryHttpServer::TelemetryHttpServer(ServerEngine* engine)
+    : engine_(engine) {}
+
+TelemetryHttpServer::~TelemetryHttpServer() { Stop(); }
+
+void TelemetryHttpServer::HandleConnection(int fd) {
+  // One request per connection: read until the header terminator (the
+  // request line is all we use), bounded at 8 KiB against garbage.
+  std::string request;
+  char chunk[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return;
+    request.append(chunk, static_cast<size_t>(n));
+  }
+  size_t line_end = request.find('\n');
+  std::string_view line =
+      Trim(std::string_view(request).substr(0, line_end));
+
+  // "METHOD SP PATH SP VERSION"
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                              "bad request\n"));
+    return;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t query_string = path.find('?');
+  if (query_string != std::string_view::npos) {
+    path = path.substr(0, query_string);
+  }
+  if (method != "GET") {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    WriteAll(fd, HttpResponse(200, "OK", kExpositionType,
+                              engine_->ExpositionText()));
+    return;
+  }
+  if (path == "/health") {
+    HealthVerdict verdict = engine_->Health();
+    // Load balancers and probes key off the status code; the body
+    // carries the reasons.
+    if (verdict.ok) {
+      WriteAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    } else {
+      WriteAll(fd, HttpResponse(503, "Service Unavailable", "text/plain",
+                                verdict.ToString() + "\n"));
+    }
+    return;
+  }
+  WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                            "not found (try /metrics or /health)\n"));
 }
 
 }  // namespace pdatalog

@@ -1,5 +1,6 @@
 // The serving engine's text line protocol, shared by the stdio loop
-// (`pdatalog --serve`) and the socket listener (`--serve=PORT`).
+// (`pdatalog --serve`) and the socket listener (`--serve=PORT`), plus
+// the HTTP telemetry endpoint (`--telemetry-port=P`).
 //
 // One request per line; every request yields a reply whose *last* line
 // starts with "ok" or "err" (query bindings and stats tables precede
@@ -9,15 +10,26 @@
 //   +par(ed, fred).        enqueue a base-fact update; "ok"
 //   !flush                 wait until all updates applied; "ok epoch <E>"
 //   !stats                 stats report lines, then "ok"
+//   !health                "ok health ok" or "ok health degraded (...)"
+//   !watch [SEC [COUNT]]   stream one "watch ..." line per interval
+//                          (COUNT lines, 0/omitted = until disconnect),
+//                          then "ok"
 //   !snapshot DIR          save the current snapshot; "ok saved <n> relations"
 //   !quit                  "ok bye" and closes the session
 //
 // Blank lines are ignored. Anything else — malformed atoms, unknown
 // verbs, arbitrary bytes — produces a clean "err <reason>" reply; the
 // handler never crashes on untrusted input (fuzzed in tests/fuzz_test).
+//
+// `!watch` is the one verb that streams: HandleRequest returns an empty
+// text with the watch fields set, and the *transport* runs RunWatch to
+// emit the lines — HandleRequest itself stays total and non-blocking,
+// which is what the fuzzer and the framing contract require.
 #ifndef PDATALOG_SERVER_PROTOCOL_H_
 #define PDATALOG_SERVER_PROTOCOL_H_
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -41,28 +53,45 @@ struct ProtocolReply {
   std::string text;
   // True after `!quit`: the transport should close the session.
   bool quit = false;
+  // True after `!watch`: text is empty and the transport should stream
+  // watch_count lines (0 = unbounded) every watch_interval_ms, then
+  // write the closing "ok" line — see RunWatch.
+  bool watch = false;
+  int watch_interval_ms = 0;
+  uint64_t watch_count = 0;
 };
 
 // Handles one request line (no trailing newline required; a trailing
-// '\r' is stripped). Total over arbitrary input.
+// '\r' is stripped). Total over arbitrary input; never blocks beyond a
+// `!flush`.
 ProtocolReply HandleRequest(ServerEngine* engine, std::string_view line,
                             const ProtocolOptions& options = {});
+
+// Streams a `!watch` session: one WatchLine per interval through
+// `write_line` (return false to stop — client disconnected), `count`
+// lines total (0 = until write failure or abort), then the closing
+// "ok\n". `aborted`, when given, is polled between 50 ms sleep slices
+// so a server Stop() is not held up by a long interval.
+void RunWatch(ServerEngine* engine, int interval_ms, uint64_t count,
+              const std::function<bool(std::string_view)>& write_line,
+              const std::function<bool()>& aborted = nullptr);
 
 // Reads request lines from `in` until EOF or `!quit`, writing each
 // reply to `out` (flushed per request, for interactive use).
 void ServeLoop(ServerEngine* engine, std::istream& in, std::ostream& out,
                const ProtocolOptions& options = {});
 
-// A minimal TCP listener on 127.0.0.1 running the same protocol, one
-// thread per connection. Built for the CLI's `--serve=PORT` and the
-// tests (port 0 binds an ephemeral port; port() reports it).
-class SocketServer {
+// A minimal loopback TCP listener: binds 127.0.0.1, accepts on a
+// background thread, and runs one connection thread per client (port 0
+// binds an ephemeral port; port() reports it). Subclasses provide the
+// per-connection conversation; this class owns every fd and joins every
+// thread on Stop(). Both the line-protocol server and the telemetry
+// HTTP endpoint are instances.
+class SocketListener {
  public:
-  explicit SocketServer(ServerEngine* engine,
-                        const ProtocolOptions& options = {});
-  ~SocketServer();
-  SocketServer(const SocketServer&) = delete;
-  SocketServer& operator=(const SocketServer&) = delete;
+  virtual ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
 
   // Binds and starts accepting. Call at most once.
   Status Start(int port);
@@ -71,22 +100,74 @@ class SocketServer {
   int port() const { return port_; }
 
   // Closes the listener and every open connection, then joins all
-  // threads. Idempotent; the destructor calls it.
+  // threads. Idempotent. Subclass destructors must call it (so no
+  // connection thread can enter a destroyed override).
   void Stop();
+
+ protected:
+  SocketListener() = default;
+
+  // One client conversation, run on its own thread; `fd` is closed by
+  // the caller afterwards. Stop() shuts the socket down to wake blocked
+  // reads; long non-blocking work should poll stopping().
+  virtual void HandleConnection(int fd) = 0;
+
+  bool stopping() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+  }
 
  private:
   void AcceptLoop();
-  void ConnectionLoop(int fd);
+  void ConnectionThread(int fd);
 
-  ServerEngine* const engine_;
-  const ProtocolOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
-  std::mutex mu_;  // guards connections_/threads_/stopping_
+  mutable std::mutex mu_;  // guards connections_/threads_/stopping_
   bool stopping_ = false;
   std::vector<int> connections_;
   std::vector<std::thread> threads_;
+};
+
+// The line protocol over TCP, one session per connection. Built for the
+// CLI's `--serve=PORT` and the tests.
+class SocketServer : public SocketListener {
+ public:
+  explicit SocketServer(ServerEngine* engine,
+                        const ProtocolOptions& options = {});
+  ~SocketServer() override;
+
+ protected:
+  void HandleConnection(int fd) override;
+
+ private:
+  ServerEngine* const engine_;
+  const ProtocolOptions options_;
+};
+
+// The scrape endpoint (`--telemetry-port=P`): a deliberately minimal
+// HTTP/1.0 responder, one request per connection.
+//
+//   GET /metrics  200, Prometheus text exposition (version 0.0.4) of a
+//                 fresh telemetry sample plus the slow-query ring
+//   GET /health   200 "ok" when healthy, 503 "degraded (...)" when not
+//                 (load balancers key off the status code)
+//   anything else 404 / 400
+//
+// Responses carry Content-Length and Connection: close; there is no
+// keep-alive, chunking, or TLS — it serves curl and a Prometheus
+// scraper on loopback, nothing more.
+class TelemetryHttpServer : public SocketListener {
+ public:
+  explicit TelemetryHttpServer(ServerEngine* engine);
+  ~TelemetryHttpServer() override;
+
+ protected:
+  void HandleConnection(int fd) override;
+
+ private:
+  ServerEngine* const engine_;
 };
 
 }  // namespace pdatalog

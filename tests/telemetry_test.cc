@@ -1,0 +1,600 @@
+// The live-serving telemetry layer: windowed histograms, slow-query and
+// sample rings, health verdicts, the Prometheus text exposition (with a
+// parse-back validator mirroring tools/check_exposition.py), the
+// `!health` / `!watch` protocol verbs, and the HTTP scrape endpoint.
+// The endpoint and backlog tests run under the TSan CI job.
+#include "obs/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/engine.h"
+#include "server/protocol.h"
+
+namespace pdatalog {
+namespace {
+
+constexpr char kChainProgram[] = R"(
+  anc(X, Y) :- par(X, Y).
+  anc(X, Y) :- par(X, Z), anc(Z, Y).
+  par(n0, n1).
+)";
+
+std::string NodeName(int i) { return "n" + std::to_string(i); }
+
+// --- WindowedHistogram ----------------------------------------------
+
+TEST(WindowedHistogramTest, WindowAgesOutAtTheEdgeLifetimeKeepsAll) {
+  WindowedHistogram w(4);
+  for (uint64_t v : {10u, 20u, 30u}) w.Record(v);
+  EXPECT_EQ(w.WindowMerged().count(), 3u);
+  EXPECT_EQ(w.lifetime().count(), 3u);
+
+  // Three rotations: the recording bucket is still inside the window.
+  for (int i = 0; i < 3; ++i) w.Rotate();
+  EXPECT_EQ(w.WindowMerged().count(), 3u);
+
+  // The fourth rotation wraps onto the recording bucket and clears it —
+  // the window edge.
+  w.Rotate();
+  EXPECT_EQ(w.WindowMerged().count(), 0u);
+  EXPECT_TRUE(w.WindowMerged().empty());
+  EXPECT_EQ(w.lifetime().count(), 3u);
+  EXPECT_EQ(w.rotations(), 4u);
+}
+
+TEST(WindowedHistogramTest, WindowMergesAcrossBuckets) {
+  WindowedHistogram w(3);
+  w.Record(100);
+  w.Rotate();
+  w.Record(200);
+  w.Rotate();
+  w.Record(400);
+  // All three buckets live: merged window sees everything.
+  Histogram merged = w.WindowMerged();
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.sum(), 700u);
+  EXPECT_EQ(merged.max(), 400u);
+  // One more rotation evicts the oldest record only.
+  w.Rotate();
+  merged = w.WindowMerged();
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.sum(), 600u);
+}
+
+TEST(WindowedHistogramTest, EmptyWindowPercentilesAreZeroSafe) {
+  WindowedHistogram w(2);
+  Histogram merged = w.WindowMerged();
+  EXPECT_EQ(merged.Percentile(50), 0.0);
+  EXPECT_EQ(merged.Percentile(99), 0.0);
+  EXPECT_EQ(merged.Mean(), 0.0);
+  // A single-bucket "window" still works (degenerates to an epoch that
+  // clears on every rotation).
+  WindowedHistogram one(1);
+  one.Record(7);
+  EXPECT_EQ(one.WindowMerged().count(), 1u);
+  one.Rotate();
+  EXPECT_EQ(one.WindowMerged().count(), 0u);
+}
+
+// --- rings -----------------------------------------------------------
+
+TEST(SlowQueryRingTest, DropsOldestKeepsTotal) {
+  SlowQueryRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    SlowQueryRecord r;
+    r.latency_ns = static_cast<uint64_t>(i);
+    r.atom = "q" + std::to_string(i);
+    ring.Add(std::move(r));
+  }
+  EXPECT_EQ(ring.total(), 5u);
+  std::vector<SlowQueryRecord> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  // Oldest-first, and the two oldest were evicted.
+  EXPECT_EQ(kept[0].atom, "q2");
+  EXPECT_EQ(kept[1].atom, "q3");
+  EXPECT_EQ(kept[2].atom, "q4");
+}
+
+TEST(SampleRingTest, LatestAndOldestWithinWindow) {
+  SampleRing ring(3);
+  for (uint64_t t : {100u, 200u, 300u, 400u}) {  // 100 evicted
+    auto s = std::make_shared<TelemetrySample>();
+    s->ticks = t;
+    ring.Add(std::move(s));
+  }
+  ASSERT_NE(ring.latest(), nullptr);
+  EXPECT_EQ(ring.latest()->ticks, 400u);
+  // Window of 150 ticks back from now=450 admits 300 and 400 only.
+  auto oldest = ring.OldestWithin(450, 150);
+  ASSERT_NE(oldest, nullptr);
+  EXPECT_EQ(oldest->ticks, 300u);
+  // A window nothing satisfies.
+  EXPECT_EQ(ring.OldestWithin(1000, 100), nullptr);
+  auto all = ring.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.front()->ticks, 200u);
+}
+
+// --- health ----------------------------------------------------------
+
+TEST(HealthTest, ThresholdsAndDisabledChecks) {
+  HealthThresholds t;
+  t.max_queue_depth = 10;
+  t.max_lag_ms = 100;
+  EXPECT_TRUE(EvaluateHealth(0, 0, t).ok);
+  EXPECT_TRUE(EvaluateHealth(10, 100, t).ok);  // at the threshold: ok
+
+  HealthVerdict deep = EvaluateHealth(11, 0, t);
+  EXPECT_FALSE(deep.ok);
+  ASSERT_EQ(deep.reasons.size(), 1u);
+  EXPECT_NE(deep.reasons[0].find("queue depth 11"), std::string::npos);
+
+  HealthVerdict both = EvaluateHealth(11, 101, t);
+  EXPECT_FALSE(both.ok);
+  EXPECT_EQ(both.reasons.size(), 2u);
+  EXPECT_NE(both.ToString().find("degraded ("), std::string::npos);
+
+  // Zero disables a check entirely.
+  t.max_queue_depth = 0;
+  t.max_lag_ms = 0;
+  EXPECT_TRUE(EvaluateHealth(1u << 20, 1e9, t).ok);
+  EXPECT_EQ(EvaluateHealth(0, 0, t).ToString(), "ok");
+}
+
+// --- exposition format -----------------------------------------------
+
+TEST(ExpositionTest, NamesAndLabels) {
+  EXPECT_EQ(SanitizeMetricName("serve.queue_depth"),
+            "pdatalog_serve_queue_depth");
+  EXPECT_EQ(SanitizeMetricName("worker.3.rows-examined"),
+            "pdatalog_worker_3_rows_examined");
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// A strict line validator for the text exposition format, mirroring
+// tools/check_exposition.py: every non-comment line is
+// `name[{labels}] value`, names are legal, every samples' metric family
+// has a preceding # TYPE line, and histogram bucket series are
+// cumulative and closed by +Inf == _count.
+void ValidateExposition(const std::string& text) {
+  std::map<std::string, std::string> types;       // family -> type
+  std::map<std::string, uint64_t> last_bucket;    // family -> cumulative
+  std::map<std::string, uint64_t> inf_bucket;     // family -> +Inf value
+  std::map<std::string, uint64_t> count_value;    // family -> _count
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    SCOPED_TRACE("line " + std::to_string(lineno) + ": " + line);
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, name, type;
+      comment >> hash >> kind >> name >> type;
+      if (kind == "TYPE") {
+        ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram");
+        ASSERT_EQ(types.count(name), 0u) << "duplicate TYPE";
+        types[name] = type;
+      }
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    std::string series = line.substr(0, space);
+    std::string value_text = line.substr(space + 1);
+    ASSERT_FALSE(value_text.empty());
+    char* end = nullptr;
+    double value = std::strtod(value_text.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparsable value";
+
+    std::string name = series;
+    std::string labels;
+    size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}');
+      name = series.substr(0, brace);
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+    }
+    ASSERT_FALSE(name.empty());
+    for (size_t i = 0; i < name.size(); ++i) {
+      char c = name[i];
+      bool legal = std::isalpha(static_cast<unsigned char>(c)) ||
+                   c == '_' || c == ':' ||
+                   (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+      ASSERT_TRUE(legal) << "illegal name char '" << c << "'";
+    }
+
+    // Resolve the family: histogram samples append _bucket/_sum/_count.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        std::string base = name.substr(0, name.size() - s.size());
+        if (types.count(base) != 0 && types[base] == "histogram") {
+          family = base;
+        }
+      }
+    }
+    ASSERT_EQ(types.count(family), 1u) << "no # TYPE for " << family;
+
+    if (types[family] == "histogram" && name == family + "_bucket") {
+      ASSERT_NE(labels.find("le=\""), std::string::npos);
+      uint64_t v = static_cast<uint64_t>(value);
+      ASSERT_GE(v, last_bucket[family]) << "buckets must be cumulative";
+      last_bucket[family] = v;
+      if (labels.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket[family] = v;
+      }
+    }
+    if (types[family] == "histogram" && name == family + "_count") {
+      count_value[family] = static_cast<uint64_t>(value);
+    }
+  }
+  for (const auto& [family, type] : types) {
+    if (type != "histogram") continue;
+    ASSERT_EQ(inf_bucket.count(family), 1u)
+        << family << " missing +Inf bucket";
+    ASSERT_EQ(inf_bucket[family], count_value[family])
+        << family << " +Inf bucket must equal _count";
+  }
+}
+
+TEST(ExpositionTest, RendersAndParsesBack) {
+  MetricsRegistry m;
+  m.AddCounter("serve.queries", 42);
+  m.AddCounter("run.cross_tuples", 0);
+  m.SetGauge("serve.queue_depth", 7);
+  m.SetGauge("serve.maintain_lag_ms", 1.25);
+  Histogram h;
+  for (uint64_t v : {0u, 1u, 3u, 100u, 5000u}) h.Record(v);
+  m.MergeHistogram("hist.query_ns", h);
+
+  SlowQueryRecord slow;
+  slow.atom = "anc(\"weird\\name\", X)";
+  slow.epoch = 3;
+  slow.scan_rows = 17;
+  slow.latency_ns = 2500000;
+
+  std::string text = ExpositionText(m, {slow});
+  ValidateExposition(text);
+
+  EXPECT_NE(text.find("# TYPE pdatalog_serve_queries_total counter\n"
+                      "pdatalog_serve_queries_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdatalog_serve_queue_depth 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pdatalog_hist_query_ns histogram"),
+            std::string::npos);
+  // Bucket 0 holds the one zero; the +Inf bucket covers all five.
+  EXPECT_NE(text.find("pdatalog_hist_query_ns_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdatalog_hist_query_ns_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdatalog_hist_query_ns_count 5\n"),
+            std::string::npos);
+  // The slow-query series carries escaped labels.
+  EXPECT_NE(text.find("pdatalog_slow_query_latency_ms{slot=\"0\","
+                      "atom=\"anc(\\\"weird\\\\name\\\", X)\",epoch=\"3\","
+                      "scan_rows=\"17\"} 2.5\n"),
+            std::string::npos);
+}
+
+// --- engine integration ----------------------------------------------
+
+TEST(EngineTelemetryTest, SampleCarriesGaugesWindowsAndRates) {
+  ServerOptions options;
+  options.sample_interval_ms = 0;  // no sampler thread; sample by hand
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServerEngine* server = engine->get();
+
+  ASSERT_TRUE(server->SubmitFactText("par(n1, n2)").ok());
+  server->Flush();
+  ASSERT_TRUE(server->QueryText("anc(n0, X)").ok());
+
+  std::shared_ptr<const TelemetrySample> sample = server->SampleNow();
+  ASSERT_NE(sample, nullptr);
+  const MetricsRegistry& m = sample->metrics;
+  EXPECT_EQ(m.counter("serve.queries"), 1u);
+  EXPECT_EQ(m.counter("serve.updates_applied"), 1u);
+  EXPECT_EQ(m.gauge("serve.epoch"), 2.0);
+  EXPECT_EQ(m.gauge("serve.queue_depth"), 0.0);
+  EXPECT_GE(m.gauge("serve.snapshot_age_ms"), 0.0);
+  ASSERT_NE(m.FindHistogram("hist.query_ns"), nullptr);
+  ASSERT_NE(m.FindHistogram("hist.query_window_ns"), nullptr);
+  EXPECT_EQ(m.FindHistogram("hist.query_window_ns")->count(), 1u);
+  ASSERT_NE(m.FindHistogram("hist.flush_wait_ns"), nullptr);
+  EXPECT_EQ(m.counter("serve.flushes"), 1u);
+
+  // The sample ring retains history; a second sample computes rates
+  // against the first.
+  EXPECT_EQ(server->SamplesCopy().size(), 1u);
+  ASSERT_TRUE(server->QueryText("anc(n0, X)").ok());
+  std::shared_ptr<const TelemetrySample> second = server->SampleNow();
+  EXPECT_EQ(server->SamplesCopy().size(), 2u);
+  EXPECT_EQ(server->latest_sample(), second);
+  EXPECT_GE(second->metrics.gauge("serve.window_qps"), 0.0);
+
+  // The full exposition of a live engine parses back.
+  ValidateExposition(server->ExpositionText());
+}
+
+TEST(EngineTelemetryTest, SlowQueryRingCapturesRenderedAtoms) {
+  ServerOptions options;
+  options.sample_interval_ms = 0;
+  options.slow_query_ms = 1e-6;  // 1 ns: every query is slow
+  options.slow_ring = 4;
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram, options);
+  ASSERT_TRUE(engine.ok());
+  ServerEngine* server = engine->get();
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server->QueryText("anc(n0, X)").ok());
+  }
+  std::vector<SlowQueryRecord> slow = server->SlowQueries();
+  ASSERT_EQ(slow.size(), 4u);  // ring capacity, drop-oldest
+  for (const SlowQueryRecord& r : slow) {
+    EXPECT_EQ(r.atom, "anc(n0, X)");
+    EXPECT_EQ(r.epoch, 1u);
+    EXPECT_EQ(r.scan_rows, 1u);  // anc has one row
+    EXPECT_EQ(r.result_rows, 1u);
+  }
+  std::shared_ptr<const TelemetrySample> sample = server->SampleNow();
+  EXPECT_EQ(sample->metrics.counter("serve.slow_queries"), 6u);
+
+  // `!stats` dumps the ring; /metrics exports it as a labeled family.
+  std::string stats = server->StatsReport();
+  EXPECT_NE(stats.find("slow queries"), std::string::npos);
+  EXPECT_NE(stats.find("anc(n0, X)"), std::string::npos);
+  std::string exposition = server->ExpositionText();
+  EXPECT_NE(exposition.find("pdatalog_slow_query_latency_ms{slot=\"0\","
+                            "atom=\"anc(n0, X)\""),
+            std::string::npos);
+  ValidateExposition(exposition);
+}
+
+TEST(EngineTelemetryTest, HealthFlipsUnderBacklogAndRecovers) {
+  ServerOptions options;
+  options.sample_interval_ms = 0;
+  options.max_batch = 1;  // one evaluation cycle per queued fact
+  options.health.max_queue_depth = 4;
+  options.health.max_lag_ms = 0;  // queue check only (deterministic)
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram, options);
+  ASSERT_TRUE(engine.ok());
+  ServerEngine* server = engine->get();
+  EXPECT_TRUE(server->Health().ok);
+  EXPECT_EQ(HandleRequest(server, "!health").text, "ok health ok\n");
+
+  // A burst far deeper than the threshold: each fact needs its own
+  // maintenance cycle, so the queue outruns the drain.
+  for (int i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(server
+                    ->SubmitFactText("par(" + NodeName(i) + ", " +
+                                     NodeName(i + 1) + ")")
+                    .ok());
+  }
+  HealthVerdict during = server->Health();
+  EXPECT_FALSE(during.ok);
+  ASSERT_FALSE(during.reasons.empty());
+  EXPECT_NE(during.reasons[0].find("queue depth"), std::string::npos);
+  ProtocolReply reply = HandleRequest(server, "!health");
+  EXPECT_EQ(reply.text.substr(0, 19), "ok health degraded ");
+
+  // Recovery: once the backlog drains, the verdict returns to ok.
+  server->Flush();
+  EXPECT_TRUE(server->Health().ok);
+  EXPECT_EQ(HandleRequest(server, "!health").text, "ok health ok\n");
+}
+
+// --- !watch ----------------------------------------------------------
+
+TEST(WatchTest, ParsesArgumentsAndRejectsGarbage) {
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram);
+  ASSERT_TRUE(engine.ok());
+  ServerEngine* server = engine->get();
+
+  ProtocolReply plain = HandleRequest(server, "!watch");
+  EXPECT_TRUE(plain.watch);
+  EXPECT_TRUE(plain.text.empty());
+  EXPECT_EQ(plain.watch_interval_ms, 2000);
+  EXPECT_EQ(plain.watch_count, 0u);
+
+  ProtocolReply timed = HandleRequest(server, "!watch 0.5 3");
+  EXPECT_TRUE(timed.watch);
+  EXPECT_EQ(timed.watch_interval_ms, 500);
+  EXPECT_EQ(timed.watch_count, 3u);
+
+  for (const char* bad : {"!watch -1", "!watch 9999", "!watch abc",
+                          "!watch 1 xyz", "!watch 1 2 3junk"}) {
+    ProtocolReply reply = HandleRequest(server, bad);
+    EXPECT_FALSE(reply.watch) << bad;
+    EXPECT_EQ(reply.text.substr(0, 4), "err ") << bad;
+  }
+}
+
+TEST(WatchTest, ServeLoopStreamsLinesThenOk) {
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram);
+  ASSERT_TRUE(engine.ok());
+  std::istringstream in("!watch 0 2\n!quit\n");
+  std::ostringstream out;
+  ServeLoop(engine->get(), in, out);
+  std::string text = out.str();
+  // Two watch lines, the closing ok, then the quit reply.
+  size_t first = text.find("watch epoch=1 ");
+  ASSERT_NE(first, std::string::npos) << text;
+  size_t second = text.find("watch epoch=1 ", first + 1);
+  ASSERT_NE(second, std::string::npos) << text;
+  EXPECT_NE(text.find("health=ok"), std::string::npos);
+  EXPECT_NE(text.find("\nok\nok bye\n"), std::string::npos) << text;
+}
+
+// --- HTTP endpoint ---------------------------------------------------
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// One HTTP round trip: send the request, read to EOF (the server
+// closes after responding).
+std::string HttpGet(int port, const std::string& request_line) {
+  int fd = ConnectLoopback(port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return "";
+  std::string request = request_line + "\r\n\r\n";
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(TelemetryHttpTest, ServesMetricsHealthAndErrors) {
+  ServerOptions options;
+  options.sample_interval_ms = 0;
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram, options);
+  ASSERT_TRUE(engine.ok());
+  ServerEngine* server = engine->get();
+  ASSERT_TRUE(server->SubmitFactText("par(n1, n2)").ok());
+  server->Flush();
+  ASSERT_TRUE(server->QueryText("anc(n0, X)").ok());
+
+  TelemetryHttpServer http(server);
+  ASSERT_TRUE(http.Start(0).ok());
+  ASSERT_GT(http.port(), 0);
+
+  std::string metrics = HttpGet(http.port(), "GET /metrics HTTP/1.0");
+  EXPECT_EQ(metrics.substr(0, 15), "HTTP/1.0 200 OK");
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  size_t body_at = metrics.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  std::string body = metrics.substr(body_at + 4);
+  EXPECT_NE(body.find("pdatalog_serve_queries_total 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("pdatalog_serve_epoch 2"), std::string::npos);
+  EXPECT_NE(body.find("pdatalog_hist_query_window_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(body.find("pdatalog_serve_maintain_lag_ms"),
+            std::string::npos);
+  ValidateExposition(body);
+  // Content-Length matches the body exactly.
+  size_t length_at = metrics.find("Content-Length: ");
+  ASSERT_NE(length_at, std::string::npos);
+  EXPECT_EQ(std::stoul(metrics.substr(length_at + 16)), body.size());
+
+  std::string health = HttpGet(http.port(), "GET /health HTTP/1.0");
+  EXPECT_EQ(health.substr(0, 15), "HTTP/1.0 200 OK");
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  // Query strings are ignored; bad paths and methods get clean errors.
+  EXPECT_EQ(HttpGet(http.port(), "GET /health?probe=1 HTTP/1.0")
+                .substr(0, 15),
+            "HTTP/1.0 200 OK");
+  EXPECT_EQ(HttpGet(http.port(), "GET /nope HTTP/1.0").substr(0, 12),
+            "HTTP/1.0 404");
+  EXPECT_EQ(HttpGet(http.port(), "POST /metrics HTTP/1.0").substr(0, 12),
+            "HTTP/1.0 405");
+  EXPECT_EQ(HttpGet(http.port(), "garbage").substr(0, 12),
+            "HTTP/1.0 400");
+
+  http.Stop();
+}
+
+TEST(TelemetryHttpTest, HealthReturns503WhenDegraded) {
+  ServerOptions options;
+  options.sample_interval_ms = 0;
+  options.max_batch = 1;
+  options.health.max_queue_depth = 4;
+  options.health.max_lag_ms = 0;
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram, options);
+  ASSERT_TRUE(engine.ok());
+  ServerEngine* server = engine->get();
+  TelemetryHttpServer http(server);
+  ASSERT_TRUE(http.Start(0).ok());
+
+  for (int i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(server
+                    ->SubmitFactText("par(" + NodeName(i) + ", " +
+                                     NodeName(i + 1) + ")")
+                    .ok());
+  }
+  std::string during = HttpGet(http.port(), "GET /health HTTP/1.0");
+  EXPECT_EQ(during.substr(0, 12), "HTTP/1.0 503");
+  EXPECT_NE(during.find("degraded"), std::string::npos);
+
+  server->Flush();
+  std::string after = HttpGet(http.port(), "GET /health HTTP/1.0");
+  EXPECT_EQ(after.substr(0, 15), "HTTP/1.0 200 OK");
+  http.Stop();
+}
+
+// The sampler thread races real queries, updates, flushes, and scrapes;
+// runs under TSan in CI.
+TEST(EngineTelemetryTest, BackgroundSamplerRacesTraffic) {
+  ServerOptions options;
+  options.sample_interval_ms = 1;  // aggressive for the test
+  options.window_intervals = 4;
+  options.trace = true;  // sampler also reads trace drop counters live
+  options.slow_query_ms = 1e-6;
+  StatusOr<std::unique_ptr<ServerEngine>> engine =
+      ServerEngine::Create(kChainProgram, options);
+  ASSERT_TRUE(engine.ok());
+  ServerEngine* server = engine->get();
+
+  for (int i = 1; i <= 30; ++i) {
+    ASSERT_TRUE(server
+                    ->SubmitFactText("par(" + NodeName(i) + ", " +
+                                     NodeName(i + 1) + ")")
+                    .ok());
+    ASSERT_TRUE(server->QueryText("anc(n0, X)").ok());
+    if (i % 10 == 0) {
+      server->Flush();
+      ValidateExposition(server->ExpositionText());
+    }
+  }
+  server->Flush();
+  server->Shutdown();
+  // The sampler published at least one sample on its own clock.
+  EXPECT_GE(server->SamplesCopy().size(), 1u);
+  ValidateExposition(server->ExpositionText());
+}
+
+}  // namespace
+}  // namespace pdatalog

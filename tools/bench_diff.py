@@ -14,6 +14,10 @@ instead of grep-for-a-flag:
     measured in the same run, higher is better and much more stable
     across machines: a regression is current < baseline *
     (1 - --ratio-tolerance).
+  - fields ending in `_overhead_pct` are percentage costs relative to a
+    same-run baseline leg (e.g. telemetry on vs off), lower is better
+    and already machine-normalised: a regression is current >
+    baseline + --overhead-slack percentage points.
   - booleans, strings, and configuration echoes (counts, sizes) are
     ignored.
 
@@ -96,6 +100,17 @@ def compare_pair(label, cur, base, args, report):
             else:
                 report.append(("ok", "%s: %s %.3f -> %.3f ms"
                                % (label, key, base_val, cur_val)))
+        elif key.endswith("_overhead_pct"):
+            limit = base_val + args.overhead_slack
+            if cur_val > limit:
+                failures += 1
+                report.append(("FAIL", "%s: %s %+.1f%% -> %+.1f%% (limit "
+                               "%+.1f%%: baseline + %.0f point slack)"
+                               % (label, key, base_val, cur_val, limit,
+                                  args.overhead_slack)))
+            else:
+                report.append(("ok", "%s: %s %+.1f%% -> %+.1f%%"
+                               % (label, key, base_val, cur_val)))
         elif key.endswith("_speedup") or key.endswith("_reduction"):
             limit = base_val * (1.0 - args.ratio_tolerance)
             if cur_val < limit:
@@ -160,6 +175,10 @@ def main():
     parser.add_argument("--ratio-tolerance", type=float, default=0.25,
                         help="allowed relative drop in _speedup/_reduction "
                              "fields (default 0.25)")
+    parser.add_argument("--overhead-slack", type=float, default=10.0,
+                        help="allowed absolute rise in _overhead_pct "
+                             "fields, in percentage points (default 10; "
+                             "tail percentiles are noisy on shared CI)")
     parser.add_argument("--min-wall-ms", type=float, default=1.0,
                         help="ignore wall regressions smaller than this "
                              "many ms (timer noise floor; default 1.0)")

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape from pdatalog.
+
+CI scrapes the resident engine's --telemetry-port endpoint and pipes the
+body through this checker, so a malformed renderer fails the build
+instead of silently breaking dashboards. Checks:
+
+  - every non-comment line is `name{labels} value` with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a finite numeric value;
+  - label values use only the three escapes \\\\ \\" \\n, with balanced
+    quotes;
+  - every sample's family was introduced by a `# TYPE` line, and TYPE
+    lines are not repeated or contradictory;
+  - histogram `_bucket` series are cumulative in `le` order and end in
+    an `le="+Inf"` bucket equal to the family's `_count`;
+  - optional --require NAME flags assert specific families are present.
+
+Usage:
+  curl -s http://127.0.0.1:9107/metrics | tools/check_exposition.py \
+      --require pdatalog_serve_queries_total \
+      --require pdatalog_serve_queue_depth
+  tools/check_exposition.py scrape.txt
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Invalid(Exception):
+    pass
+
+
+def parse_labels(raw):
+    """Parses `a="x",b="y"` (no braces). Returns a dict."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not match:
+            raise Invalid("bad label at %r" % raw[i:])
+        name = match.group(1)
+        i += match.end()
+        value = []
+        while True:
+            if i >= len(raw):
+                raise Invalid("unterminated label value for %r" % name)
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('\\', '"', 'n'):
+                    raise Invalid("bad escape in label %r" % name)
+                value.append(raw[i:i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            if ch == "\n":
+                raise Invalid("raw newline in label %r" % name)
+            value.append(ch)
+            i += 1
+        labels[name] = "".join(value)
+        if i < len(raw):
+            if raw[i] != ",":
+                raise Invalid("expected ',' between labels, got %r" % raw[i])
+            i += 1
+    return labels
+
+
+def parse_sample(line):
+    """Splits `name{labels} value` -> (name, labels dict, float value)."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            raise Invalid("unbalanced braces")
+        name = line[:brace]
+        labels = parse_labels(line[brace + 1:close])
+        rest = line[close + 1:].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise Invalid("expected 'name value'")
+        name, rest = parts[0], parts[1].strip()
+        labels = {}
+    if not NAME_RE.match(name):
+        raise Invalid("bad metric name %r" % name)
+    for label in labels:
+        if not LABEL_NAME_RE.match(label):
+            raise Invalid("bad label name %r" % label)
+    try:
+        value = float(rest)
+    except ValueError:
+        raise Invalid("bad sample value %r" % rest)
+    if math.isnan(value) or math.isinf(value):
+        raise Invalid("non-finite sample value %r" % rest)
+    return name, labels, value
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def check(text, required):
+    errors = []
+    types = {}
+    samples = []
+    if text and not text.endswith("\n"):
+        errors.append("exposition does not end in a newline")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            if not line.strip():
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4:
+                    raise Invalid("malformed TYPE line")
+                _, _, name, kind = parts
+                if not NAME_RE.match(name):
+                    raise Invalid("bad family name %r" % name)
+                if kind not in TYPES:
+                    raise Invalid("unknown type %r" % kind)
+                if name in types:
+                    raise Invalid("duplicate TYPE for %r" % name)
+                types[name] = kind
+                continue
+            if line.startswith("#"):
+                continue  # HELP and other comments
+            samples.append((lineno,) + parse_sample(line))
+        except Invalid as err:
+            errors.append("line %d: %s" % (lineno, err))
+
+    buckets = {}  # family -> list of (le, value)
+    counts = {}  # family -> _count value
+    seen_families = set()
+    for lineno, name, labels, value in samples:
+        family = family_of(name)
+        seen_families.add(name)
+        seen_families.add(family)
+        if family not in types:
+            errors.append("line %d: sample %r has no # TYPE line"
+                          % (lineno, name))
+            continue
+        kind = types[family]
+        if kind == "counter" and not name.endswith("_total"):
+            errors.append("line %d: counter sample %r lacks _total"
+                          % (lineno, name))
+        if kind == "counter" and value < 0:
+            errors.append("line %d: negative counter %r" % (lineno, name))
+        if name.endswith("_bucket"):
+            if kind != "histogram":
+                errors.append("line %d: _bucket outside a histogram"
+                              % lineno)
+                continue
+            le = labels.get("le")
+            if le is None:
+                errors.append("line %d: bucket without le label" % lineno)
+                continue
+            bound = math.inf if le == "+Inf" else float(le)
+            buckets.setdefault(family, []).append((lineno, bound, value))
+        elif name.endswith("_count") and kind == "histogram":
+            counts[family] = value
+
+    for family, rows in sorted(buckets.items()):
+        previous = -math.inf
+        cumulative = -1.0
+        for lineno, bound, value in rows:
+            if bound <= previous:
+                errors.append("line %d: %s buckets not in increasing le "
+                              "order" % (lineno, family))
+            if value < cumulative:
+                errors.append("line %d: %s buckets not cumulative"
+                              % (lineno, family))
+            previous, cumulative = bound, value
+        if not math.isinf(rows[-1][1]):
+            errors.append("%s: missing le=\"+Inf\" bucket" % family)
+        elif family in counts and rows[-1][2] != counts[family]:
+            errors.append("%s: +Inf bucket %g != _count %g"
+                          % (family, rows[-1][2], counts[family]))
+
+    for name in required:
+        if name not in seen_families:
+            errors.append("required family %r absent from scrape" % name)
+    if not samples and not errors:
+        errors.append("scrape contained no samples")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate a Prometheus 0.0.4 text exposition")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="file to check (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this metric family is present "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path) as f:
+            text = f.read()
+
+    errors = check(text, args.require)
+    for error in errors:
+        print("check_exposition: %s" % error, file=sys.stderr)
+    if errors:
+        return 1
+    print("check_exposition: ok (%d lines)" % len(text.splitlines()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
